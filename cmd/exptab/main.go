@@ -1,0 +1,114 @@
+// Command exptab regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	exptab -exp all
+//	exptab -exp table2,fig7a -v
+//	exptab -exp fig7c -io-cache 128 -storage-cache 256
+//
+// Experiments: table1, table2, table3, fig7a … fig7h, optstats, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"flopt/internal/exp"
+	"flopt/internal/sim"
+)
+
+func main() {
+	var (
+		expList   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig7a..fig7h,optstats,all")
+		verbose   = flag.Bool("v", false, "print per-run progress")
+		policy    = flag.String("policy", "lru", "cache policy for the base experiments: lru, demote, karma")
+		ioCache   = flag.Int("io-cache", 0, "override I/O cache blocks")
+		stCache   = flag.Int("storage-cache", 0, "override storage cache blocks")
+		blockSize = flag.Int64("block", 0, "override block size in elements")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Policy = *policy
+	if *ioCache > 0 {
+		cfg.IOCacheBlocks = *ioCache
+	}
+	if *stCache > 0 {
+		cfg.StorageCacheBlocks = *stCache
+	}
+	if *blockSize > 0 {
+		cfg.BlockElems = *blockSize
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	runner := exp.NewRunner()
+	runner.Verbose = *verbose
+
+	type expFn func(*exp.Runner, sim.Config) (*exp.Table, error)
+	table := map[string]expFn{
+		"table2":    exp.Table2,
+		"table3":    exp.Table3,
+		"fig7a":     exp.Fig7a,
+		"fig7b":     exp.Fig7b,
+		"fig7c":     exp.Fig7c,
+		"fig7d":     exp.Fig7d,
+		"fig7e":     exp.Fig7e,
+		"fig7f":     exp.Fig7f,
+		"fig7g":     exp.Fig7g,
+		"fig7h":     exp.Fig7h,
+		"optstats":  exp.OptStats,
+		"ablations": exp.Ablations,
+		"prefetch":  exp.Prefetch,
+	}
+	order := []string{"table1", "table2", "table3", "fig7a", "fig7b", "fig7c",
+		"fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "optstats", "ablations", "prefetch"}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*expList, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, n := range order {
+				want[n] = true
+			}
+			continue
+		}
+		if name != "table1" {
+			if _, ok := table[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s, all)\n",
+					name, strings.Join(order, ", "))
+				os.Exit(1)
+			}
+		}
+		want[name] = true
+	}
+
+	for _, name := range order {
+		if !want[name] {
+			continue
+		}
+		start := time.Now()
+		if name == "table1" {
+			fmt.Println(exp.Table1(cfg))
+			continue
+		}
+		t, err := table[name](runner, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		if *verbose {
+			fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Command floptc is the compiler driver: it parses a mini-language file,
+// runs the inter-node file layout optimization against a storage-cache
+// hierarchy, and prints the chosen data transformations, the compiled
+// layout pattern, and the transformed program.
+//
+// Usage:
+//
+//	floptc program.fl
+//	floptc -compute 64 -io 16 -storage 4 -block 64 -io-cache 64 -storage-cache 128 program.fl
+//	floptc -workload swim          # compile one of the built-in benchmarks
+//	floptc -emit program.fl        # also print the transformed program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flopt"
+	"flopt/internal/lang"
+	"flopt/internal/layout"
+	"flopt/internal/poly"
+)
+
+func main() {
+	var (
+		computeN = flag.Int("compute", 64, "compute nodes")
+		ioN      = flag.Int("io", 16, "I/O nodes")
+		storageN = flag.Int("storage", 4, "storage nodes")
+		block    = flag.Int64("block", 64, "data block size in elements")
+		ioCache  = flag.Int("io-cache", 64, "I/O cache capacity in blocks")
+		stCache  = flag.Int("storage-cache", 128, "storage cache capacity in blocks")
+		workload = flag.String("workload", "", "compile a built-in benchmark instead of a file")
+		emit     = flag.Bool("emit", false, "print the transformed program")
+	)
+	flag.Parse()
+
+	var (
+		p   *flopt.Program
+		err error
+	)
+	switch {
+	case *workload != "":
+		w, werr := flopt.WorkloadByName(*workload)
+		if werr != nil {
+			fail(werr)
+		}
+		p, err = w.Program()
+	case flag.NArg() == 1:
+		src, rerr := os.ReadFile(flag.Arg(0))
+		if rerr != nil {
+			fail(rerr)
+		}
+		p, err = flopt.Compile(flag.Arg(0), string(src))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: floptc [flags] program.fl  (or -workload <name>)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := flopt.DefaultConfig()
+	cfg.ComputeNodes, cfg.IONodes, cfg.StorageNodes = *computeN, *ioN, *storageN
+	cfg.BlockElems = *block
+	cfg.IOCacheBlocks, cfg.StorageCacheBlocks = *ioCache, *stCache
+	if err := cfg.Validate(); err != nil {
+		fail(err)
+	}
+
+	res, err := flopt.Optimize(p, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("program %s: %d arrays, %d loop nests, %d threads\n",
+		p.Name, len(p.Arrays), len(p.Nests), cfg.Threads())
+	fmt.Printf("pattern: %s\n\n", res.Pattern)
+	for _, a := range p.Arrays {
+		tr := res.Transforms[a.Name]
+		fmt.Printf("  %-10s %s\n", a.String(), tr)
+		fmt.Printf("  %-10s layout=%s fileElems=%d\n", "", res.Layouts[a.Name].Name(), res.Layouts[a.Name].SizeElems())
+	}
+	opt, total := res.OptimizedCount()
+	fmt.Printf("\noptimized %d/%d arrays (%.0f%%)\n", opt, total, 100*float64(opt)/float64(total))
+
+	if *emit {
+		fmt.Println("\n// transformed program (array index functions updated):")
+		fmt.Print(lang.Print(transformedProgram(p, res)))
+	}
+}
+
+// transformedProgram rewrites every reference to an optimized array into
+// the transformed data space (Q' = D·Q, q' = D·q) and resizes the declared
+// arrays to the transformed bounds' bounding box.
+func transformedProgram(p *flopt.Program, res *layout.Result) *flopt.Program {
+	out := &poly.Program{Name: p.Name + "_opt"}
+	arrays := map[string]*poly.Array{}
+	for _, a := range p.Arrays {
+		na := &poly.Array{Name: a.Name, Dims: append([]int64(nil), a.Dims...)}
+		arrays[a.Name] = na
+		out.Arrays = append(out.Arrays, na)
+	}
+	for _, n := range p.Nests {
+		nn := &poly.LoopNest{Loops: n.Loops, ParallelLoop: n.ParallelLoop}
+		for _, r := range n.Refs {
+			tr := res.Transforms[r.Array.Name]
+			nr := &poly.Reference{Array: arrays[r.Array.Name], Q: r.Q, Offset: r.Offset, Write: r.Write}
+			if tr != nil && tr.Optimized() {
+				t2 := layout.TransformedRef(r, tr.D)
+				nr.Q, nr.Offset = t2.Q, t2.Offset
+			}
+			nn.Refs = append(nn.Refs, nr)
+		}
+		out.Nests = append(out.Nests, nn)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "floptc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command flvis renders a file layout as an ASCII map: one character per
+// data block showing which thread (or I/O node) owns the data stored
+// there. Comparing the default row-major map against the optimized one
+// makes the inter-node interleaving visible at a glance.
+//
+// Usage:
+//
+//	flvis -workload swim -array UU
+//	flvis -src program.fl -array B -by io
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flopt"
+	"flopt/internal/layout"
+	"flopt/internal/linalg"
+	"flopt/internal/poly"
+)
+
+const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in benchmark name")
+		src      = flag.String("src", "", "mini-language source file")
+		array    = flag.String("array", "", "array to visualize (default: first)")
+		by       = flag.String("by", "thread", "color blocks by 'thread' or 'io' node")
+		width    = flag.Int("width", 64, "blocks per output line")
+	)
+	flag.Parse()
+
+	var (
+		p   *flopt.Program
+		err error
+	)
+	switch {
+	case *workload != "":
+		w, werr := flopt.WorkloadByName(*workload)
+		if werr != nil {
+			fail(werr)
+		}
+		p, err = w.Program()
+	case *src != "":
+		text, rerr := os.ReadFile(*src)
+		if rerr != nil {
+			fail(rerr)
+		}
+		p, err = flopt.Compile(*src, string(text))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: flvis -workload <name> | -src <file> [-array A] [-by thread|io]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := flopt.DefaultConfig()
+	res, err := flopt.Optimize(p, cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	a := p.Arrays[0]
+	if *array != "" {
+		if a = p.Array(*array); a == nil {
+			fail(fmt.Errorf("no array %q in program (have %v)", *array, arrayNames(p)))
+		}
+	}
+	tr := res.Transforms[a.Name]
+	fmt.Printf("array %s — %s\n\n", a, tr)
+
+	fmt.Println("default (row-major):")
+	render(a, tr, layout.RowMajor(a), cfg, *by, *width)
+	fmt.Printf("\noptimized (%s):\n", res.Layouts[a.Name].Name())
+	render(a, tr, res.Layouts[a.Name], cfg, *by, *width)
+	fmt.Printf("\nlegend: one character per %d-element block; '%s' = %s id (mod %d), '.' = hole\n",
+		cfg.BlockElems, "0-9a-zA-Z", *by, len(glyphs))
+}
+
+// render prints the block-ownership map of array a under layout l. A
+// block's owner is the thread owning the majority of its elements (per
+// the Step I partition); '.' marks blocks holding no data (holes).
+func render(a *poly.Array, tr *layout.Transform, l layout.Layout, cfg flopt.Config, by string, width int) {
+	blocks := (l.SizeElems() + cfg.BlockElems - 1) / cfg.BlockElems
+	counts := make([]map[int]int, blocks)
+	idx := make(linalg.Vec, a.Rank())
+	var walk func(k int)
+	walk = func(k int) {
+		if k == a.Rank() {
+			blk := l.Offset(idx) / cfg.BlockElems
+			th := ownerOf(tr, idx)
+			if counts[blk] == nil {
+				counts[blk] = map[int]int{}
+			}
+			counts[blk][th]++
+			return
+		}
+		for v := int64(0); v < a.Dims[k]; v++ {
+			idx[k] = v
+			walk(k + 1)
+		}
+	}
+	walk(0)
+	line := make([]byte, 0, width)
+	for b := int64(0); b < blocks; b++ {
+		ch := byte('.')
+		if m := counts[b]; m != nil {
+			best, bestN := 0, -1
+			for th, n := range m {
+				if n > bestN || (n == bestN && th < best) {
+					best, bestN = th, n
+				}
+			}
+			if by == "io" {
+				best = cfg.IONodeOf(best)
+			}
+			ch = glyphs[best%len(glyphs)]
+		}
+		line = append(line, ch)
+		if len(line) == width {
+			fmt.Println(string(line))
+			line = line[:0]
+		}
+	}
+	if len(line) > 0 {
+		fmt.Println(string(line))
+	}
+}
+
+// ownerOf returns the thread owning element idx under the transform's
+// partition (0 when the array is unpartitioned).
+func ownerOf(tr *layout.Transform, idx linalg.Vec) int {
+	if tr == nil || !tr.Optimized() {
+		return 0
+	}
+	return tr.ThreadOf(idx)
+}
+
+func arrayNames(p *flopt.Program) []string {
+	var out []string
+	for _, a := range p.Arrays {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "flvis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,99 @@
+// Command runsim executes one workload on the simulated storage platform
+// and prints the execution report.
+//
+// Usage:
+//
+//	runsim -workload swim                        # default layouts
+//	runsim -workload swim -scheme inter          # optimized layouts
+//	runsim -workload swim -scheme inter -policy demote
+//	runsim -src program.fl -scheme inter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flopt"
+	"flopt/internal/exp"
+	"flopt/internal/sim"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "built-in benchmark name")
+		src      = flag.String("src", "", "mini-language source file")
+		scheme   = flag.String("scheme", "default", "layout scheme: default, inter, inter-io, inter-storage, reindex, compmap")
+		policy   = flag.String("policy", "lru", "cache policy: lru, demote, karma")
+		ioCache  = flag.Int("io-cache", 0, "override I/O cache blocks")
+		stCache  = flag.Int("storage-cache", 0, "override storage cache blocks")
+		block    = flag.Int64("block", 0, "override block size in elements")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.Policy = *policy
+	if *ioCache > 0 {
+		cfg.IOCacheBlocks = *ioCache
+	}
+	if *stCache > 0 {
+		cfg.StorageCacheBlocks = *stCache
+	}
+	if *block > 0 {
+		cfg.BlockElems = *block
+	}
+
+	var rep *sim.Report
+	switch {
+	case *workload != "":
+		runner := exp.NewRunner()
+		var err error
+		rep, err = runner.Run(*workload, cfg, exp.Scheme(*scheme))
+		if err != nil {
+			fail(err)
+		}
+	case *src != "":
+		text, err := os.ReadFile(*src)
+		if err != nil {
+			fail(err)
+		}
+		p, err := flopt.Compile(*src, string(text))
+		if err != nil {
+			fail(err)
+		}
+		switch *scheme {
+		case "default":
+			rep, err = flopt.RunDefault(p, cfg)
+		case "inter":
+			res, oerr := flopt.Optimize(p, cfg)
+			if oerr != nil {
+				fail(oerr)
+			}
+			rep, err = flopt.RunOptimized(p, cfg, res)
+		default:
+			fail(fmt.Errorf("scheme %q requires -workload (it needs the experiment runner)", *scheme))
+		}
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: runsim -workload <name> | -src <file> [-scheme s] [-policy p]")
+		os.Exit(2)
+	}
+
+	fmt.Printf("policy            %s\n", rep.PolicyName)
+	fmt.Printf("execution time    %.3f s\n", float64(rep.ExecTimeUS)/1e6)
+	fmt.Printf("block requests    %d\n", rep.Accesses)
+	fmt.Printf("io cache          %d accesses, %.1f%% miss\n", rep.IO.Accesses, 100*rep.IOMissRate())
+	fmt.Printf("storage cache     %d accesses, %.1f%% miss\n", rep.Storage.Accesses, 100*rep.StorageMissRate())
+	fmt.Printf("disk reads        %d (%d sequential), busy %.3f s\n",
+		rep.DiskReads, rep.DiskSeqReads, float64(rep.DiskBusyUS)/1e6)
+	if rep.Demotions > 0 {
+		fmt.Printf("demotions         %d\n", rep.Demotions)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "runsim:", err)
+	os.Exit(1)
+}

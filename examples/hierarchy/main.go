@@ -1,0 +1,67 @@
+// Hierarchy sensitivity: run one benchmark across cache-capacity scales
+// and node-count configurations, reproducing the shape of the paper's
+// Fig. 7(c) and 7(d) on a single application.
+//
+// Run with:
+//
+//	go run ./examples/hierarchy [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flopt"
+)
+
+func main() {
+	name := "swim"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := flopt.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	base := flopt.DefaultConfig()
+
+	fmt.Printf("cache-capacity sensitivity for %s (Fig. 7(c) shape):\n", name)
+	for _, scale := range []struct {
+		label    string
+		num, den int
+	}{{"x1/4", 1, 4}, {"x1/2", 1, 2}, {"x1", 1, 1}, {"x2", 2, 1}, {"x4", 4, 1}} {
+		cfg := base
+		cfg.IOCacheBlocks = base.IOCacheBlocks * scale.num / scale.den
+		cfg.StorageCacheBlocks = base.StorageCacheBlocks * scale.num / scale.den
+		fmt.Printf("  caches %-4s  improvement %5.1f%%\n", scale.label, improvement(p, cfg))
+	}
+
+	fmt.Printf("\nnode-count sensitivity for %s (Fig. 7(d) shape):\n", name)
+	for _, nc := range []struct{ io, st int }{{32, 8}, {16, 4}, {8, 4}, {8, 2}} {
+		cfg := base
+		cfg.IONodes, cfg.StorageNodes = nc.io, nc.st
+		fmt.Printf("  (64,%2d,%d)    improvement %5.1f%%\n", nc.io, nc.st, improvement(p, cfg))
+	}
+}
+
+func improvement(p *flopt.Program, cfg flopt.Config) float64 {
+	res, err := flopt.Optimize(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := flopt.RunDefault(p, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := flopt.RunOptimized(p, cfg, res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return 100 * flopt.Improvement(before, after)
+}

@@ -1,0 +1,166 @@
+// Package flopt is a compiler-directed file layout optimizer for
+// hierarchical storage systems — a from-scratch reproduction of Ding,
+// Zhang, Kandemir & Son, "Compiler-directed file layout optimization for
+// hierarchical storage systems" (SC 2012).
+//
+// The package bundles three things:
+//
+//   - A small compiler front end for affine loop-nest programs
+//     (Compile), producing the polyhedral representation the optimizer
+//     consumes.
+//   - The optimizer itself (Optimize): Step I computes a unimodular data
+//     transformation per disk-resident array that isolates each thread's
+//     elements (Eq. 3/4 of the paper, with Eq. 5 weighted conflict
+//     resolution), and Step II linearizes the partitioned arrays with a
+//     thread-interleaved, storage-hierarchy-aware layout pattern
+//     (Algorithm 1).
+//   - A deterministic trace-driven simulator of the paper's evaluation
+//     platform (RunDefault / RunOptimized / RunWithLayouts): compute
+//     nodes, I/O-node and storage-node block caches (LRU-inclusive,
+//     KARMA, DEMOTE-LRU), PVFS-style striping, and a seek/rotation disk
+//     model.
+//
+// A minimal end-to-end use:
+//
+//	p, _ := flopt.Compile("example", src)
+//	cfg := flopt.DefaultConfig()
+//	res, _ := flopt.Optimize(p, cfg)
+//	before, _ := flopt.RunDefault(p, cfg)
+//	after, _ := flopt.RunOptimized(p, cfg, res)
+//	fmt.Printf("%.1f%% faster\n", 100*(1-float64(after.ExecTimeUS)/float64(before.ExecTimeUS)))
+//
+// The cmd/ directory provides the same functionality as executables
+// (floptc, runsim, exptab), and internal/exp regenerates every table and
+// figure of the paper's evaluation (see EXPERIMENTS.md).
+package flopt
+
+import (
+	"fmt"
+
+	"flopt/internal/lang"
+	"flopt/internal/layout"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+	"flopt/internal/sim"
+	"flopt/internal/storage/cache"
+	"flopt/internal/trace"
+	"flopt/internal/workloads"
+)
+
+// Program is a parsed affine loop-nest program.
+type Program = poly.Program
+
+// Config describes the simulated platform (node counts, cache capacities,
+// block size, latencies, cache policy).
+type Config = sim.Config
+
+// Report summarizes one simulated execution.
+type Report = sim.Report
+
+// Result carries the optimizer's output: per-array transforms and layouts
+// plus the parallelization plans.
+type Result = layout.Result
+
+// Layout maps array elements to linear file offsets.
+type Layout = layout.Layout
+
+// Workload is one of the 16 benchmark applications of the evaluation.
+type Workload = workloads.Workload
+
+// Compile parses mini-language source into a Program. The language
+// declares disk-resident arrays and parallelized affine loop nests; see
+// the internal/lang package documentation for the grammar.
+func Compile(name, source string) (*Program, error) {
+	return lang.Parse(name, source)
+}
+
+// DefaultConfig returns the paper's Table 1 platform at the simulator's
+// element scale: 64 compute nodes, 16 I/O nodes, 4 storage nodes,
+// LRU-inclusive caches at the I/O and storage layers.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Optimize runs the full inter-node file layout optimization of the paper
+// against the cache hierarchy described by cfg (both layers targeted).
+func Optimize(p *Program, cfg Config) (*Result, error) {
+	h, err := cfg.LayoutHierarchy(true, true)
+	if err != nil {
+		return nil, err
+	}
+	return layout.Optimize(p, layout.Options{Hierarchy: h, BlockElems: cfg.BlockElems})
+}
+
+// RunDefault simulates p under cfg with the default row-major file
+// layouts (the paper's "default execution").
+func RunDefault(p *Program, cfg Config) (*Report, error) {
+	return RunWithLayouts(p, cfg, layout.DefaultLayouts(p), nil)
+}
+
+// RunOptimized simulates p under cfg with the layouts chosen by Optimize.
+func RunOptimized(p *Program, cfg Config, res *Result) (*Report, error) {
+	return RunWithLayouts(p, cfg, res.Layouts, res)
+}
+
+// RunWithLayouts simulates p under cfg with an arbitrary layout per array
+// (keyed by array name). If res is non-nil its parallelization plans are
+// reused; otherwise fresh default plans are built. For cfg.Policy ==
+// "karma" the KARMA hints are generated automatically from the traces.
+func RunWithLayouts(p *Program, cfg Config, layouts map[string]Layout, res *Result) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plans := map[*poly.LoopNest]*parallel.Plan{}
+	if res != nil {
+		plans = res.Plans
+	} else {
+		for _, n := range p.Nests {
+			plan, err := parallel.NewPlan(n, cfg.Threads(), 1)
+			if err != nil {
+				return nil, err
+			}
+			plans[n] = plan
+		}
+	}
+	ft, err := trace.NewFileTable(p, layouts)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := trace.Generate(p, plans, ft, cfg.BlockElems, cfg.Threads())
+	if err != nil {
+		return nil, err
+	}
+	var hints []cache.RangeHint
+	if cfg.Policy == "karma" {
+		hints = sim.GenerateHints(cfg, ft, traces)
+	}
+	machine, err := sim.NewMachine(cfg, hints)
+	if err != nil {
+		return nil, err
+	}
+	fileBlocks := make([]int64, len(ft.Names))
+	for f := range fileBlocks {
+		fileBlocks[f] = ft.Blocks(int32(f), cfg.BlockElems)
+	}
+	machine.SetFileBlocks(fileBlocks)
+	return machine.Run(traces)
+}
+
+// Workloads returns the 16 benchmark applications of the paper's Table 2.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName returns one benchmark application by name.
+func WorkloadByName(name string) (Workload, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return Workload{}, fmt.Errorf("flopt: unknown workload %q (have %v)", name, workloads.Names())
+	}
+	return w, nil
+}
+
+// Improvement returns the fractional execution-time improvement of after
+// over before (e.g. 0.237 for the paper's headline 23.7 %).
+func Improvement(before, after *Report) float64 {
+	if before.ExecTimeUS == 0 {
+		return 0
+	}
+	return 1 - float64(after.ExecTimeUS)/float64(before.ExecTimeUS)
+}

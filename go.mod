@@ -1,0 +1,3 @@
+module flopt
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package exp is the evaluation harness: it reruns every table and figure
+// of the paper's §5 on the simulated platform and renders the same rows
+// and series the paper reports. See EXPERIMENTS.md for paper-vs-measured.
+package exp
+
+import (
+	"fmt"
+
+	"flopt/internal/baseline"
+	"flopt/internal/layout"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+	"flopt/internal/sim"
+	"flopt/internal/storage/cache"
+	"flopt/internal/trace"
+	"flopt/internal/workloads"
+)
+
+// Scheme selects how file layouts (and, for the computation-mapping
+// baseline, thread placement) are chosen.
+type Scheme string
+
+const (
+	// SchemeDefault: row-major files, identity thread mapping — the
+	// paper's "default execution".
+	SchemeDefault Scheme = "default"
+	// SchemeInter: the paper's inter-node file layout optimization
+	// targeting both cache layers.
+	SchemeInter Scheme = "inter"
+	// SchemeInterIO / SchemeInterStorage: single-layer targeting
+	// (Fig. 7(f)).
+	SchemeInterIO      Scheme = "inter-io"
+	SchemeInterStorage Scheme = "inter-storage"
+	// SchemeReindex: the dimension-reindexing baseline [27].
+	SchemeReindex Scheme = "reindex"
+	// SchemeCompMap: the computation-mapping baseline [26] (row-major
+	// files, sharing-clustered thread placement).
+	SchemeCompMap Scheme = "compmap"
+	// SchemeInterUnweighted / SchemeInterFlat: ablations of the two design
+	// choices DESIGN.md calls out — Eq. 5 weighted conflict resolution and
+	// the hierarchy-aware Step II pattern.
+	SchemeInterUnweighted Scheme = "inter-unweighted"
+	SchemeInterFlat       Scheme = "inter-flat"
+)
+
+// Schemes lists all selectable schemes.
+func Schemes() []Scheme {
+	return []Scheme{SchemeDefault, SchemeInter, SchemeInterIO, SchemeInterStorage,
+		SchemeReindex, SchemeCompMap, SchemeInterUnweighted, SchemeInterFlat}
+}
+
+// prepKey identifies a cached preparation (layout choice + traces).
+type prepKey struct {
+	app     string
+	scheme  Scheme
+	block   int64
+	compute int
+	tpc     int
+	io      int
+	storage int
+	capIO   int
+	capST   int
+}
+
+func keyFor(app string, cfg sim.Config, scheme Scheme) prepKey {
+	k := prepKey{
+		app: app, scheme: scheme, block: cfg.BlockElems,
+		compute: cfg.ComputeNodes, tpc: cfg.ThreadsPerCompute,
+		io: cfg.IONodes, storage: cfg.StorageNodes,
+	}
+	// Layout choice depends on cache capacities only for the schemes that
+	// consult them; keying on them always would just reduce reuse.
+	switch scheme {
+	case SchemeInter, SchemeInterIO, SchemeInterStorage, SchemeReindex,
+		SchemeInterUnweighted, SchemeInterFlat:
+		k.capIO, k.capST = cfg.IOCacheBlocks, cfg.StorageCacheBlocks
+	}
+	return k
+}
+
+// prep bundles everything needed to simulate one (app, scheme, platform).
+type prep struct {
+	ft      *trace.FileTable
+	traces  []*trace.NestTrace
+	mapping *parallel.Mapping // only for SchemeCompMap
+	optRes  *layout.Result    // only for inter schemes
+}
+
+// Runner caches parsed programs and generated traces across experiment
+// sweeps (a cache-capacity sweep, for instance, reuses the same traces).
+// The prep cache is bounded: traces are large, and an unbounded cache
+// would exhaust memory over a long multi-figure run.
+type Runner struct {
+	progs map[string]*poly.Program
+	preps map[prepKey]*prep
+	// Verbose enables progress lines on stdout.
+	Verbose bool
+}
+
+// maxPreps bounds the trace cache; beyond it the cache is cleared (coarse
+// but effective: sweeps touch preparations in clusters, so mid-sweep reuse
+// survives and cross-sweep buildup does not).
+const maxPreps = 40
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{progs: map[string]*poly.Program{}, preps: map[prepKey]*prep{}}
+}
+
+func (r *Runner) program(app string) (*poly.Program, error) {
+	if p, ok := r.progs[app]; ok {
+		return p, nil
+	}
+	w, ok := workloads.ByName(app)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown workload %q", app)
+	}
+	p, err := w.Program()
+	if err != nil {
+		return nil, err
+	}
+	r.progs[app] = p
+	return p, nil
+}
+
+// defaultPlans builds the standard parallelization of p for cfg.
+func defaultPlans(p *poly.Program, cfg sim.Config) (map[*poly.LoopNest]*parallel.Plan, error) {
+	plans := make(map[*poly.LoopNest]*parallel.Plan, len(p.Nests))
+	for _, n := range p.Nests {
+		plan, err := parallel.NewPlan(n, cfg.Threads(), 1)
+		if err != nil {
+			return nil, err
+		}
+		plans[n] = plan
+	}
+	return plans, nil
+}
+
+// prepare resolves layouts and traces for (app, cfg, scheme), caching the
+// result.
+func (r *Runner) prepare(app string, cfg sim.Config, scheme Scheme) (*prep, error) {
+	key := keyFor(app, cfg, scheme)
+	if pr, ok := r.preps[key]; ok {
+		return pr, nil
+	}
+	p, err := r.program(app)
+	if err != nil {
+		return nil, err
+	}
+	pr := &prep{}
+	var layouts map[string]layout.Layout
+	var plans map[*poly.LoopNest]*parallel.Plan
+
+	switch scheme {
+	case SchemeDefault, SchemeCompMap:
+		layouts = layout.DefaultLayouts(p)
+		if plans, err = defaultPlans(p, cfg); err != nil {
+			return nil, err
+		}
+	case SchemeInter, SchemeInterIO, SchemeInterStorage, SchemeInterUnweighted, SchemeInterFlat:
+		h, err := cfg.LayoutHierarchy(scheme != SchemeInterStorage, scheme != SchemeInterIO)
+		if err != nil {
+			return nil, err
+		}
+		res, err := layout.Optimize(p, layout.Options{
+			Hierarchy:     h,
+			BlockElems:    cfg.BlockElems,
+			UnweightedEq5: scheme == SchemeInterUnweighted,
+			FlatPattern:   scheme == SchemeInterFlat,
+		})
+		if err != nil {
+			return nil, err
+		}
+		layouts, plans = res.Layouts, res.Plans
+		pr.optRes = res
+	case SchemeReindex:
+		if layouts, err = baseline.Reindex(p, cfg); err != nil {
+			return nil, err
+		}
+		if plans, err = defaultPlans(p, cfg); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("exp: unknown scheme %q", scheme)
+	}
+
+	pr.ft, err = trace.NewFileTable(p, layouts)
+	if err != nil {
+		return nil, err
+	}
+	pr.traces, err = trace.Generate(p, plans, pr.ft, cfg.BlockElems, cfg.Threads())
+	if err != nil {
+		return nil, err
+	}
+	if scheme == SchemeCompMap {
+		m, err := baseline.ComputationMapping(cfg, pr.traces)
+		if err != nil {
+			return nil, err
+		}
+		pr.mapping = &m
+	}
+	if len(r.preps) >= maxPreps {
+		r.preps = make(map[prepKey]*prep, maxPreps)
+	}
+	r.preps[key] = pr
+	return pr, nil
+}
+
+// Run simulates app under cfg with the given scheme and returns the
+// report. The cache policy and thread mapping come from cfg (except that
+// SchemeCompMap installs its own computed mapping).
+func (r *Runner) Run(app string, cfg sim.Config, scheme Scheme) (*sim.Report, error) {
+	pr, err := r.prepare(app, cfg, scheme)
+	if err != nil {
+		return nil, err
+	}
+	if scheme == SchemeCompMap {
+		cfg.Mapping = pr.mapping
+	}
+	var hints []cache.RangeHint
+	if cfg.Policy == "karma" {
+		hints = sim.GenerateHints(cfg, pr.ft, pr.traces)
+	}
+	machine, err := sim.NewMachine(cfg, hints)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", app, scheme, err)
+	}
+	fileBlocks := make([]int64, len(pr.ft.Names))
+	for f := range fileBlocks {
+		fileBlocks[f] = pr.ft.Blocks(int32(f), cfg.BlockElems)
+	}
+	machine.SetFileBlocks(fileBlocks)
+	rep, err := machine.Run(pr.traces)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %s/%s: %w", app, scheme, err)
+	}
+	if r.Verbose {
+		fmt.Printf("  %-9s %-13s policy=%-6s exec=%8.3fs ioMiss=%5.1f%% stMiss=%5.1f%%\n",
+			app, scheme, cfg.Policy, float64(rep.ExecTimeUS)/1e6,
+			100*rep.IOMissRate(), 100*rep.StorageMissRate())
+	}
+	return rep, nil
+}
+
+// OptResult returns the optimizer output for app under cfg (inter scheme),
+// for the static statistics of §5.1.
+func (r *Runner) OptResult(app string, cfg sim.Config) (*layout.Result, error) {
+	pr, err := r.prepare(app, cfg, SchemeInter)
+	if err != nil {
+		return nil, err
+	}
+	return pr.optRes, nil
+}

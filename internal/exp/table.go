@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: one row per application (plus an
+// optional aggregate row), one column per reported quantity.
+type Table struct {
+	Title   string
+	Columns []string // not counting the leading application column
+	Rows    []Row
+	// Average, when non-nil, is appended as an aggregate row.
+	Average []float64
+	// Format strings per column (defaults to %.3f).
+	Formats []string
+	// Note is printed under the table.
+	Note string
+}
+
+// Row is one application's values.
+type Row struct {
+	App    string
+	Values []float64
+}
+
+// ColumnAverage computes the mean of column c over the rows.
+func (t *Table) ColumnAverage(c int) float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range t.Rows {
+		s += r.Values[c]
+	}
+	return s / float64(len(t.Rows))
+}
+
+// FillAverages sets Average to the per-column means.
+func (t *Table) FillAverages() {
+	t.Average = make([]float64, len(t.Columns))
+	for c := range t.Columns {
+		t.Average[c] = t.ColumnAverage(c)
+	}
+}
+
+func (t *Table) format(c int, v float64) string {
+	f := "%.3f"
+	if c < len(t.Formats) && t.Formats[c] != "" {
+		f = t.Formats[c]
+	}
+	return fmt.Sprintf(f, v)
+}
+
+// Render produces an aligned text table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	appW := len("application")
+	for _, r := range t.Rows {
+		if len(r.App) > appW {
+			appW = len(r.App)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for c, name := range t.Columns {
+		colW[c] = len(name)
+		for _, r := range t.Rows {
+			if w := len(t.format(c, r.Values[c])); w > colW[c] {
+				colW[c] = w
+			}
+		}
+		if t.Average != nil {
+			if w := len(t.format(c, t.Average[c])); w > colW[c] {
+				colW[c] = w
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", appW, "application")
+	for c, name := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", colW[c], name)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", appW))
+	for c := range t.Columns {
+		b.WriteString("  " + strings.Repeat("-", colW[c]))
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", appW, r.App)
+		for c := range t.Columns {
+			fmt.Fprintf(&b, "  %*s", colW[c], t.format(c, r.Values[c]))
+		}
+		b.WriteString("\n")
+	}
+	if t.Average != nil {
+		fmt.Fprintf(&b, "%-*s", appW, "average")
+		for c := range t.Columns {
+			fmt.Fprintf(&b, "  %*s", colW[c], t.format(c, t.Average[c]))
+		}
+		b.WriteString("\n")
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}

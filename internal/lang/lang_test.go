@@ -1,0 +1,324 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"flopt/internal/linalg"
+)
+
+const matmulSrc = `
+// Out-of-core matrix multiply (paper Fig. 3).
+array W[64][64];
+array X[64][64];
+array Y[64][64];
+
+parallel(i) for i = 0 to 63 {
+    for j = 0 to 63 {
+        for k = 0 to 63 {
+            write W[i][j];
+            read X[i][k];
+            read Y[k][j];
+        }
+    }
+}
+`
+
+func TestParseMatmul(t *testing.T) {
+	p, err := Parse("matmul", matmulSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Arrays) != 3 || len(p.Nests) != 1 {
+		t.Fatalf("arrays=%d nests=%d", len(p.Arrays), len(p.Nests))
+	}
+	n := p.Nests[0]
+	if n.Depth() != 3 || n.ParallelLoop != 0 {
+		t.Fatalf("depth=%d parallel=%d", n.Depth(), n.ParallelLoop)
+	}
+	if len(n.Refs) != 3 {
+		t.Fatalf("refs=%d", len(n.Refs))
+	}
+	wantY := linalg.MatFromRows([][]int64{{0, 0, 1}, {0, 1, 0}})
+	if !n.Refs[2].Q.Equal(wantY) {
+		t.Errorf("Y access matrix = %v, want %v", n.Refs[2].Q, wantY)
+	}
+	if !n.Refs[0].Write || n.Refs[1].Write {
+		t.Error("read/write flags wrong")
+	}
+	if n.TripCount() != 64*64*64 {
+		t.Errorf("trip count = %d", n.TripCount())
+	}
+}
+
+func TestParseAffineSubscripts(t *testing.T) {
+	src := `
+array A[16][16];
+parallel(i) for i = 0 to 7 {
+    for j = 1 to 8 {
+        read A[i+j][2*j-1];
+        write A[-i+7][3];
+    }
+}
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := p.Nests[0].Refs[0]
+	if !r0.Q.Equal(linalg.MatFromRows([][]int64{{1, 1}, {0, 2}})) {
+		t.Errorf("Q = %v", r0.Q)
+	}
+	if !r0.Offset.Equal(linalg.Vec{0, -1}) {
+		t.Errorf("offset = %v", r0.Offset)
+	}
+	r1 := p.Nests[0].Refs[1]
+	if !r1.Q.Equal(linalg.MatFromRows([][]int64{{-1, 0}, {0, 0}})) {
+		t.Errorf("Q = %v", r1.Q)
+	}
+	if !r1.Offset.Equal(linalg.Vec{7, 3}) {
+		t.Errorf("offset = %v", r1.Offset)
+	}
+}
+
+func TestParseAffineBoundsAndStep(t *testing.T) {
+	src := `
+array A[32];
+parallel(i) for i = 0 to 15 {
+    for j = i to 2*i+3 step 2 {
+        read A[j];
+    }
+}
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Nests[0].Loops[1]
+	if !l.Lower.Coeffs.Equal(linalg.Vec{1}) || l.Lower.Const != 0 {
+		t.Errorf("lower = %v", l.Lower)
+	}
+	if !l.Upper.Coeffs.Equal(linalg.Vec{2}) || l.Upper.Const != 3 {
+		t.Errorf("upper = %v", l.Upper)
+	}
+	if l.Step != 2 {
+		t.Errorf("step = %d", l.Step)
+	}
+}
+
+func TestParseMultipleNests(t *testing.T) {
+	src := `
+array A[8][8];
+parallel(i) for i = 0 to 7 { for j = 0 to 7 { read A[i][j]; } }
+parallel(j) for i = 0 to 7 { for j = 0 to 7 { write A[j][i]; } }
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nests) != 2 {
+		t.Fatalf("nests = %d", len(p.Nests))
+	}
+	if p.Nests[0].ParallelLoop != 0 || p.Nests[1].ParallelLoop != 1 {
+		t.Errorf("parallel loops = %d, %d", p.Nests[0].ParallelLoop, p.Nests[1].ParallelLoop)
+	}
+}
+
+func TestParseDefaultsToOutermostParallel(t *testing.T) {
+	src := `
+array A[8];
+for i = 0 to 7 { read A[i]; }
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nests[0].ParallelLoop != 0 {
+		t.Errorf("parallel = %d, want 0", p.Nests[0].ParallelLoop)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undeclared array", `for i = 0 to 3 { read A[i]; }`, "undeclared array"},
+		{"redeclared array", "array A[4];\narray A[4];\nfor i = 0 to 3 { read A[i]; }", "redeclared"},
+		{"rank mismatch", "array A[4][4];\nfor i = 0 to 3 { read A[i]; }", "rank"},
+		{"unknown iterator", "array A[4];\nfor i = 0 to 3 { read A[k]; }", "unknown iterator"},
+		{"bad parallel name", "array A[4];\nparallel(z) for i = 0 to 3 { read A[i]; }", "not a loop"},
+		{"no nests", "array A[4];", "no loop nests"},
+		{"empty body", "array A[4];\nfor i = 0 to 3 { }", "no array references"},
+		{"shadowed iterator", "array A[4];\nfor i = 0 to 3 { for i = 0 to 1 { read A[i]; } }", "shadows"},
+		{"zero extent", "array A[0];\nfor i = 0 to 3 { read A[i]; }", "positive"},
+		{"bad step", "array A[4];\nfor i = 0 to 3 step 0 { read A[i]; }", "step"},
+		{"stray token", "array A[4]; @", "unexpected character"},
+		{"missing semi", "array A[4]\nfor i = 0 to 3 { read A[i]; }", "expected ';'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse("t", c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCommentsAndCase(t *testing.T) {
+	src := `
+# hash comment
+array A[4]; // trailing comment
+FOR i = 0 TO 3 { READ A[i]; }
+`
+	if _, err := Parse("t", src); err != nil {
+		t.Fatalf("keywords should be case-insensitive: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{matmulSrc, `
+array A[16][16];
+array B[16][16];
+parallel(j) for i = 0 to 15 {
+    for j = i to 15 step 2 {
+        read A[i+j][2*j-1];
+        write B[-i+7][0];
+    }
+}
+`}
+	for _, src := range srcs {
+		p1, err := Parse("rt", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := Print(p1)
+		p2, err := Parse("rt", printed)
+		if err != nil {
+			t.Fatalf("re-parse of printed program failed: %v\n%s", err, printed)
+		}
+		if len(p1.Nests) != len(p2.Nests) || len(p1.Arrays) != len(p2.Arrays) {
+			t.Fatalf("structure changed on round trip:\n%s", printed)
+		}
+		for ni := range p1.Nests {
+			n1, n2 := p1.Nests[ni], p2.Nests[ni]
+			if n1.Depth() != n2.Depth() || n1.ParallelLoop != n2.ParallelLoop || len(n1.Refs) != len(n2.Refs) {
+				t.Fatalf("nest %d changed on round trip:\n%s", ni, printed)
+			}
+			for ri := range n1.Refs {
+				if !n1.Refs[ri].Q.Equal(n2.Refs[ri].Q) || !n1.Refs[ri].Offset.Equal(n2.Refs[ri].Offset) {
+					t.Errorf("ref %d/%d changed: %v vs %v", ni, ri, n1.Refs[ri], n2.Refs[ri])
+				}
+			}
+			for li := range n1.Loops {
+				l1, l2 := n1.Loops[li], n2.Loops[li]
+				if l1.Lower.Const != l2.Lower.Const || l1.Upper.Const != l2.Upper.Const || l1.Step != l2.Step {
+					t.Errorf("loop %d/%d changed", ni, li)
+				}
+			}
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("t", "array A[4];\n  !")
+	if err == nil || !strings.Contains(err.Error(), "2:3") {
+		t.Errorf("error should carry position 2:3, got %v", err)
+	}
+}
+
+func TestImperfectNestDistribution(t *testing.T) {
+	// Statements at two levels plus two sibling inner loops: distribution
+	// must produce four perfect nests in source order.
+	src := `
+array A[8];
+array B[8][8];
+array C[8][8];
+parallel(i) for i = 0 to 7 {
+    read A[i];
+    for j = 0 to 7 { read B[i][j]; }
+    for k = 0 to 7 { write C[i][k]; }
+    write A[i];
+}
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nests) != 4 {
+		t.Fatalf("nests = %d, want 4", len(p.Nests))
+	}
+	wantDepth := []int{1, 2, 2, 1}
+	wantArray := []string{"A", "B", "C", "A"}
+	for i, n := range p.Nests {
+		if n.Depth() != wantDepth[i] {
+			t.Errorf("nest %d depth = %d, want %d", i, n.Depth(), wantDepth[i])
+		}
+		if n.Refs[0].Array.Name != wantArray[i] {
+			t.Errorf("nest %d array = %s, want %s", i, n.Refs[0].Array.Name, wantArray[i])
+		}
+		// Every distributed nest contains the parallel iterator i (loop 0).
+		if n.ParallelLoop != 0 {
+			t.Errorf("nest %d parallel loop = %d", i, n.ParallelLoop)
+		}
+	}
+}
+
+func TestImperfectNestParallelOnInner(t *testing.T) {
+	// parallel(j): the statement-only outer run does not contain j and
+	// falls back to its outermost loop; the (i, j) nest keeps j.
+	src := `
+array A[8];
+array B[8][8];
+parallel(j) for i = 0 to 7 {
+    read A[i];
+    for j = 0 to 7 { read B[i][j]; }
+}
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nests) != 2 {
+		t.Fatalf("nests = %d", len(p.Nests))
+	}
+	if p.Nests[0].ParallelLoop != 0 {
+		t.Errorf("statement nest parallel = %d, want 0", p.Nests[0].ParallelLoop)
+	}
+	if p.Nests[1].ParallelLoop != 1 {
+		t.Errorf("inner nest parallel = %d, want 1 (loop j)", p.Nests[1].ParallelLoop)
+	}
+}
+
+func TestImperfectNestUnknownParallel(t *testing.T) {
+	src := `
+array A[8];
+parallel(z) for i = 0 to 7 { read A[i]; }
+`
+	if _, err := Parse("t", src); err == nil {
+		t.Error("unknown parallel iterator accepted")
+	}
+}
+
+func TestImperfectNestSiblingIteratorReuse(t *testing.T) {
+	// Sibling loops may reuse an iterator name (they do not nest).
+	src := `
+array B[8][8];
+parallel(i) for i = 0 to 7 {
+    for j = 0 to 7 { read B[i][j]; }
+    for j = 0 to 7 { write B[j][i]; }
+}
+`
+	p, err := Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nests) != 2 {
+		t.Fatalf("nests = %d", len(p.Nests))
+	}
+}

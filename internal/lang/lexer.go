@@ -1,0 +1,217 @@
+// Package lang implements the affine loop-nest mini-language that serves as
+// the compiler front end of the reproduction. A program declares
+// disk-resident arrays and parallelized loop nests whose bodies contain
+// read/write references with affine subscripts, mirroring the program
+// representation the paper's SUIF pass consumed:
+//
+//	array A[1024][1024];
+//	array B[1024][1024];
+//
+//	parallel(i) for i = 0 to 1023 {
+//	    for j = 0 to 1023 {
+//	        read A[i][j];
+//	        write B[j][i];
+//	    }
+//	}
+//
+// Subscripts and loop bounds are affine expressions over the enclosing
+// iterators (e.g. `A[i+1][2*j-1]`). Line comments start with `//` or `#`.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokLBrack  // [
+	tokRBrack  // ]
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokSemi    // ;
+	tokAssign  // =
+	tokPlus    // +
+	tokMinus   // -
+	tokStar    // *
+	tokKeyword // array, parallel, for, to, step, read, write
+)
+
+var keywords = map[string]bool{
+	"array": true, "parallel": true, "for": true, "to": true,
+	"step": true, "read": true, "write": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("%d", t.val)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer turns source text into a token stream.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.pos >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.pos], true
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for {
+		b, ok := lx.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.advance()
+		case b == '#':
+			lx.skipLine()
+		case b == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			lx.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) skipLine() {
+	for {
+		b, ok := lx.peekByte()
+		if !ok || b == '\n' {
+			return
+		}
+		lx.advance()
+	}
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	b, ok := lx.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case b == '[':
+		lx.advance()
+		return token{kind: tokLBrack, text: "[", line: line, col: col}, nil
+	case b == ']':
+		lx.advance()
+		return token{kind: tokRBrack, text: "]", line: line, col: col}, nil
+	case b == '{':
+		lx.advance()
+		return token{kind: tokLBrace, text: "{", line: line, col: col}, nil
+	case b == '}':
+		lx.advance()
+		return token{kind: tokRBrace, text: "}", line: line, col: col}, nil
+	case b == '(':
+		lx.advance()
+		return token{kind: tokLParen, text: "(", line: line, col: col}, nil
+	case b == ')':
+		lx.advance()
+		return token{kind: tokRParen, text: ")", line: line, col: col}, nil
+	case b == ';':
+		lx.advance()
+		return token{kind: tokSemi, text: ";", line: line, col: col}, nil
+	case b == '=':
+		lx.advance()
+		return token{kind: tokAssign, text: "=", line: line, col: col}, nil
+	case b == '+':
+		lx.advance()
+		return token{kind: tokPlus, text: "+", line: line, col: col}, nil
+	case b == '-':
+		lx.advance()
+		return token{kind: tokMinus, text: "-", line: line, col: col}, nil
+	case b == '*':
+		lx.advance()
+		return token{kind: tokStar, text: "*", line: line, col: col}, nil
+	case b >= '0' && b <= '9':
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok || c < '0' || c > '9' {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		var v int64
+		for _, d := range text {
+			v = v*10 + int64(d-'0')
+			if v < 0 {
+				return token{}, lx.errorf(line, col, "integer literal %s overflows", text)
+			}
+		}
+		return token{kind: tokInt, text: text, val: v, line: line, col: col}, nil
+	case isIdentStart(rune(b)):
+		start := lx.pos
+		for {
+			c, ok := lx.peekByte()
+			if !ok || !isIdentPart(rune(c)) {
+				break
+			}
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if keywords[strings.ToLower(text)] {
+			kind = tokKeyword
+			text = strings.ToLower(text)
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+	default:
+		return token{}, lx.errorf(line, col, "unexpected character %q", b)
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

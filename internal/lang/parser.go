@@ -1,0 +1,480 @@
+package lang
+
+import (
+	"fmt"
+
+	"flopt/internal/linalg"
+	"flopt/internal/poly"
+)
+
+// Parse compiles mini-language source into a validated poly.Program.
+// name becomes the Program's name.
+func Parse(name, src string) (*poly.Program, error) {
+	p := &parser{lx: newLexer(src), prog: &poly.Program{Name: name}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.isKeyword("array"):
+			if err := p.parseArrayDecl(); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("parallel") || p.isKeyword("for"):
+			if err := p.parseNest(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("expected 'array', 'parallel' or 'for', found %s", p.tok)
+		}
+	}
+	if len(p.prog.Nests) == 0 {
+		return nil, fmt.Errorf("%s: program has no loop nests", name)
+	}
+	if err := p.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	return p.prog, nil
+}
+
+type parser struct {
+	lx   *lexer
+	tok  token
+	prog *poly.Program
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errf("expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errf("expected %s, found %s", what, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// parseArrayDecl handles: array IDENT ("[" INT "]")+ ";"
+func (p *parser) parseArrayDecl() error {
+	if err := p.expectKeyword("array"); err != nil {
+		return err
+	}
+	nameTok, err := p.expect(tokIdent, "array name")
+	if err != nil {
+		return err
+	}
+	if p.prog.Array(nameTok.text) != nil {
+		return fmt.Errorf("%d:%d: array %q redeclared", nameTok.line, nameTok.col, nameTok.text)
+	}
+	var dims []int64
+	for p.tok.kind == tokLBrack {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		sz, err := p.expect(tokInt, "array extent")
+		if err != nil {
+			return err
+		}
+		if sz.val <= 0 {
+			return fmt.Errorf("%d:%d: array extent must be positive", sz.line, sz.col)
+		}
+		dims = append(dims, sz.val)
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return err
+		}
+	}
+	if len(dims) == 0 {
+		return p.errf("array %q needs at least one dimension", nameTok.text)
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return err
+	}
+	p.prog.Arrays = append(p.prog.Arrays, &poly.Array{Name: nameTok.text, Dims: dims})
+	return nil
+}
+
+// nestBuilder accumulates one perfect loop nest during normalization.
+type nestBuilder struct {
+	iterators []string // outermost first
+	loops     []poly.Loop
+	parallel  string // iterator named in parallel(...), "" for default
+	refs      []*refSyntax
+}
+
+// loopNode is the parse tree of one (possibly imperfect) loop: its body
+// interleaves statements and nested loops in source order.
+type loopNode struct {
+	loop poly.Loop
+	name string
+	body []bodyItem
+}
+
+// bodyItem is one body element: exactly one of stmt or child is set.
+type bodyItem struct {
+	stmt  *refSyntax
+	child *loopNode
+}
+
+// refSyntax is an unresolved reference: subscripts as affine expressions
+// over named iterators.
+type refSyntax struct {
+	array string
+	subs  []affineSyntax
+	write bool
+	line  int
+	col   int
+}
+
+// affineSyntax is a parsed affine expression: iterator coefficients by name
+// plus a constant.
+type affineSyntax struct {
+	coeffs map[string]int64
+	c      int64
+}
+
+// parseNest handles: ["parallel" "(" IDENT ")"] loop. Imperfect nests —
+// statements alongside nested loops, or several sibling loops — are
+// normalized by loop distribution: each maximal run of statements becomes
+// its own perfect nest under its chain of enclosing loops, in source
+// order. (Distribution reorders cross-level statement interleavings; the
+// optimizer's input model assumes the loops are parallelizable, so this
+// is the standard normalization an out-of-core compiler applies.)
+func (p *parser) parseNest() error {
+	parallel := ""
+	if p.isKeyword("parallel") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return err
+		}
+		it, err := p.expect(tokIdent, "parallel iterator name")
+		if err != nil {
+			return err
+		}
+		parallel = it.text
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return err
+		}
+	}
+	root, err := p.parseLoop(nil)
+	if err != nil {
+		return err
+	}
+	found := false
+	count := 0
+	var walk func(n *loopNode, chainNames []string, chain []poly.Loop) error
+	walk = func(n *loopNode, chainNames []string, chain []poly.Loop) error {
+		chainNames = append(chainNames, n.name)
+		chain = append(chain, n.loop)
+		if n.name == parallel {
+			found = true
+		}
+		var run []*refSyntax
+		flush := func() error {
+			if len(run) == 0 {
+				return nil
+			}
+			nb := &nestBuilder{
+				iterators: append([]string(nil), chainNames...),
+				loops:     append([]poly.Loop(nil), chain...),
+				refs:      run,
+			}
+			// The distributed nest keeps the requested parallel iterator
+			// when its chain contains it; otherwise it parallelizes on
+			// its outermost loop.
+			for _, it := range chainNames {
+				if it == parallel {
+					nb.parallel = parallel
+				}
+			}
+			run = nil
+			count++
+			return p.finishNest(nb)
+		}
+		for _, item := range n.body {
+			if item.stmt != nil {
+				run = append(run, item.stmt)
+				continue
+			}
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := walk(item.child, chainNames, chain); err != nil {
+				return err
+			}
+		}
+		return flush()
+	}
+	if err := walk(root, nil, nil); err != nil {
+		return err
+	}
+	if parallel != "" && !found {
+		return fmt.Errorf("parallel iterator %q is not a loop of the nest", parallel)
+	}
+	if count == 0 {
+		return fmt.Errorf("loop nest over %q has no array references", root.name)
+	}
+	return nil
+}
+
+// parseLoop handles: "for" IDENT "=" expr "to" expr ["step" INT] "{" body "}"
+// where body is any interleaving of statements and nested loops. enclosing
+// lists the iterators of the enclosing loops, outermost first.
+func (p *parser) parseLoop(enclosing []string) (*loopNode, error) {
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	it, err := p.expect(tokIdent, "iterator name")
+	if err != nil {
+		return nil, err
+	}
+	for _, existing := range enclosing {
+		if existing == it.text {
+			return nil, fmt.Errorf("%d:%d: iterator %q shadows an enclosing iterator", it.line, it.col, it.text)
+		}
+	}
+	if _, err := p.expect(tokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	lower, err := p.parseAffine(enclosing)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("to"); err != nil {
+		return nil, err
+	}
+	upper, err := p.parseAffine(enclosing)
+	if err != nil {
+		return nil, err
+	}
+	step := int64(1)
+	if p.isKeyword("step") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s, err := p.expect(tokInt, "step value")
+		if err != nil {
+			return nil, err
+		}
+		if s.val < 1 {
+			return nil, fmt.Errorf("%d:%d: step must be ≥ 1", s.line, s.col)
+		}
+		step = s.val
+	}
+	node := &loopNode{
+		name: it.text,
+		loop: poly.Loop{
+			Name:  it.text,
+			Lower: lower.toAffine(enclosing),
+			Upper: upper.toAffine(enclosing),
+			Step:  step,
+		},
+	}
+	inner := append(append([]string(nil), enclosing...), it.text)
+
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokRBrace {
+		if p.isKeyword("for") {
+			child, err := p.parseLoop(inner)
+			if err != nil {
+				return nil, err
+			}
+			node.body = append(node.body, bodyItem{child: child})
+			continue
+		}
+		stmt, err := p.parseStmt(inner)
+		if err != nil {
+			return nil, err
+		}
+		node.body = append(node.body, bodyItem{stmt: stmt})
+	}
+	if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// parseStmt handles: ("read"|"write") IDENT ("[" expr "]")+ ";"
+func (p *parser) parseStmt(iterators []string) (*refSyntax, error) {
+	var write bool
+	switch {
+	case p.isKeyword("read"):
+		write = false
+	case p.isKeyword("write"):
+		write = true
+	default:
+		return nil, p.errf("expected 'read', 'write', 'for' or '}', found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(tokIdent, "array name")
+	if err != nil {
+		return nil, err
+	}
+	rs := &refSyntax{array: nameTok.text, write: write, line: nameTok.line, col: nameTok.col}
+	for p.tok.kind == tokLBrack {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseAffine(iterators)
+		if err != nil {
+			return nil, err
+		}
+		rs.subs = append(rs.subs, sub)
+		if _, err := p.expect(tokRBrack, "']'"); err != nil {
+			return nil, err
+		}
+	}
+	if len(rs.subs) == 0 {
+		return nil, fmt.Errorf("%d:%d: reference to %q has no subscripts", nameTok.line, nameTok.col, nameTok.text)
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// parseAffine handles: ["+"|"-"] term (("+"|"-") term)* where
+// term := INT ["*" IDENT] | IDENT.
+func (p *parser) parseAffine(iterators []string) (affineSyntax, error) {
+	known := make(map[string]bool, len(iterators))
+	for _, it := range iterators {
+		known[it] = true
+	}
+	a := affineSyntax{coeffs: map[string]int64{}}
+	sign := int64(1)
+	switch p.tok.kind {
+	case tokMinus:
+		sign = -1
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	case tokPlus:
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	}
+	for {
+		switch p.tok.kind {
+		case tokInt:
+			v := sign * p.tok.val
+			if err := p.advance(); err != nil {
+				return a, err
+			}
+			if p.tok.kind == tokStar {
+				if err := p.advance(); err != nil {
+					return a, err
+				}
+				id, err := p.expect(tokIdent, "iterator after '*'")
+				if err != nil {
+					return a, err
+				}
+				if !known[id.text] {
+					return a, fmt.Errorf("%d:%d: unknown iterator %q", id.line, id.col, id.text)
+				}
+				a.coeffs[id.text] += v
+			} else {
+				a.c += v
+			}
+		case tokIdent:
+			if !known[p.tok.text] {
+				return a, p.errf("unknown iterator %q", p.tok.text)
+			}
+			a.coeffs[p.tok.text] += sign
+			if err := p.advance(); err != nil {
+				return a, err
+			}
+		default:
+			return a, p.errf("expected integer or iterator, found %s", p.tok)
+		}
+		switch p.tok.kind {
+		case tokPlus:
+			sign = 1
+		case tokMinus:
+			sign = -1
+		default:
+			return a, nil
+		}
+		if err := p.advance(); err != nil {
+			return a, err
+		}
+	}
+}
+
+// toAffine lowers the by-name expression to a poly.Affine over the given
+// (enclosing) iterator list.
+func (a affineSyntax) toAffine(iterators []string) poly.Affine {
+	coeffs := make(linalg.Vec, len(iterators))
+	for k, it := range iterators {
+		coeffs[k] = a.coeffs[it]
+	}
+	return poly.Affine{Coeffs: coeffs, Const: a.c}
+}
+
+// finishNest resolves references against declared arrays and appends the
+// completed nest to the program.
+func (p *parser) finishNest(nb *nestBuilder) error {
+	if len(nb.refs) == 0 {
+		return fmt.Errorf("loop nest over %v has no array references", nb.iterators)
+	}
+	parallel := 0
+	if nb.parallel != "" {
+		parallel = -1
+		for k, it := range nb.iterators {
+			if it == nb.parallel {
+				parallel = k
+				break
+			}
+		}
+		if parallel < 0 {
+			return fmt.Errorf("internal: parallel iterator %q missing from chain %v", nb.parallel, nb.iterators)
+		}
+	}
+	nest := &poly.LoopNest{Loops: nb.loops, ParallelLoop: parallel}
+	for _, rs := range nb.refs {
+		arr := p.prog.Array(rs.array)
+		if arr == nil {
+			return fmt.Errorf("%d:%d: reference to undeclared array %q", rs.line, rs.col, rs.array)
+		}
+		if len(rs.subs) != arr.Rank() {
+			return fmt.Errorf("%d:%d: %q has rank %d but reference has %d subscripts",
+				rs.line, rs.col, rs.array, arr.Rank(), len(rs.subs))
+		}
+		q := linalg.NewMat(arr.Rank(), len(nb.iterators))
+		offset := make(linalg.Vec, arr.Rank())
+		for d, sub := range rs.subs {
+			for k, it := range nb.iterators {
+				q.Set(d, k, sub.coeffs[it])
+			}
+			offset[d] = sub.c
+		}
+		nest.Refs = append(nest.Refs, &poly.Reference{Array: arr, Q: q, Offset: offset, Write: rs.write})
+	}
+	p.prog.Nests = append(p.prog.Nests, nest)
+	return nil
+}

@@ -1,0 +1,112 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"flopt/internal/poly"
+)
+
+// Print renders a poly.Program back into mini-language source. Loop
+// iterators are printed with their declared names; affine expressions are
+// rewritten over those names. The output parses back to an equivalent
+// program (see TestRoundTrip).
+func Print(p *poly.Program) string {
+	var b strings.Builder
+	for _, a := range p.Arrays {
+		fmt.Fprintf(&b, "array %s", a.Name)
+		for _, d := range a.Dims {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+		b.WriteString(";\n")
+	}
+	for _, n := range p.Nests {
+		b.WriteString("\n")
+		printNest(&b, n)
+	}
+	return b.String()
+}
+
+func printNest(b *strings.Builder, n *poly.LoopNest) {
+	names := iteratorNames(n)
+	fmt.Fprintf(b, "parallel(%s) ", names[n.ParallelLoop])
+	for k, l := range n.Loops {
+		indent := strings.Repeat("    ", k)
+		if k > 0 {
+			b.WriteString(indent)
+		}
+		fmt.Fprintf(b, "for %s = %s to %s", names[k],
+			affineString(l.Lower, names[:k]), affineString(l.Upper, names[:k]))
+		if l.Step > 1 {
+			fmt.Fprintf(b, " step %d", l.Step)
+		}
+		b.WriteString(" {\n")
+	}
+	body := strings.Repeat("    ", len(n.Loops))
+	for _, r := range n.Refs {
+		b.WriteString(body)
+		if r.Write {
+			b.WriteString("write ")
+		} else {
+			b.WriteString("read ")
+		}
+		b.WriteString(r.Array.Name)
+		for d := 0; d < r.Q.R; d++ {
+			fmt.Fprintf(b, "[%s]", affineString(poly.Affine{Coeffs: r.Q.Row(d), Const: r.Offset[d]}, names))
+		}
+		b.WriteString(";\n")
+	}
+	for k := len(n.Loops) - 1; k >= 0; k-- {
+		b.WriteString(strings.Repeat("    ", k))
+		b.WriteString("}\n")
+	}
+}
+
+// iteratorNames returns loop names, generating i1, i2, … where missing and
+// de-duplicating collisions.
+func iteratorNames(n *poly.LoopNest) []string {
+	names := make([]string, n.Depth())
+	seen := map[string]bool{}
+	for k, l := range n.Loops {
+		name := l.Name
+		if name == "" {
+			name = fmt.Sprintf("i%d", k+1)
+		}
+		for seen[name] {
+			name += "_"
+		}
+		seen[name] = true
+		names[k] = name
+	}
+	return names
+}
+
+func affineString(a poly.Affine, names []string) string {
+	var parts []string
+	for k, c := range a.Coeffs {
+		if c == 0 {
+			continue
+		}
+		name := fmt.Sprintf("i%d", k+1)
+		if k < len(names) {
+			name = names[k]
+		}
+		switch {
+		case c == 1:
+			parts = append(parts, "+"+name)
+		case c == -1:
+			parts = append(parts, "-"+name)
+		case c > 0:
+			parts = append(parts, fmt.Sprintf("+%d*%s", c, name))
+		default:
+			parts = append(parts, fmt.Sprintf("-%d*%s", -c, name))
+		}
+	}
+	if a.Const > 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("+%d", a.Const))
+	} else if a.Const < 0 {
+		parts = append(parts, fmt.Sprintf("-%d", -a.Const))
+	}
+	s := strings.Join(parts, "")
+	return strings.TrimPrefix(s, "+")
+}

@@ -1,0 +1,59 @@
+package layout
+
+import (
+	"testing"
+
+	"flopt/internal/linalg"
+)
+
+func benchLayout(b *testing.B) (*OptimizedLayout, linalg.Vec) {
+	b.Helper()
+	ol := optimizedFor(b, rowSrc, "A")
+	return ol, make(linalg.Vec, 2)
+}
+
+// BenchmarkOptimizedOffsetFast measures the closed-form address path.
+func BenchmarkOptimizedOffsetFast(b *testing.B) {
+	ol, idx := benchLayout(b)
+	dims := ol.Array.Dims
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx[0] = int64(i) % dims[0]
+		idx[1] = int64(i*7) % dims[1]
+		_ = ol.Offset(idx)
+	}
+}
+
+// BenchmarkOptimizedOffsetTable measures the table-fallback path (skewed
+// partitioning vector).
+func BenchmarkOptimizedOffsetTable(b *testing.B) {
+	ol := optimizedFor(b, diagSrc, "A")
+	idx := make(linalg.Vec, 2)
+	dims := ol.Array.Dims
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx[0] = int64(i) % dims[0]
+		idx[1] = int64(i*5) % dims[1]
+		_ = ol.Offset(idx)
+	}
+}
+
+// BenchmarkSolveTransform measures Step I on the matmul program.
+func BenchmarkSolveTransform(b *testing.B) {
+	p, plans := parseProg(b, `
+array W[256][256];
+array X[256][256];
+array Y[256][256];
+parallel(i) for i = 0 to 255 { for j = 0 to 255 { for k = 0 to 255 {
+    write W[i][j]; read X[i][k]; read Y[k][j];
+} } }
+`, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range p.Arrays {
+			if _, err := SolveTransform(p, a, plans); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

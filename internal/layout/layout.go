@@ -1,0 +1,315 @@
+package layout
+
+import (
+	"fmt"
+
+	"flopt/internal/linalg"
+	"flopt/internal/poly"
+)
+
+// Layout maps multi-dimensional array elements to linear file offsets
+// (in elements). Implementations must be bijections from the array's data
+// space into [0, SizeElems()); SizeElems may exceed the element count when
+// the mapping leaves alignment holes.
+type Layout interface {
+	// Offset returns the file offset (in elements) of the given index
+	// vector, which must lie inside the array.
+	Offset(idx linalg.Vec) int64
+	// SizeElems returns the file length in elements.
+	SizeElems() int64
+	// Name identifies the layout scheme for reports.
+	Name() string
+}
+
+// PermutedLayout stores the array canonically with its dimensions ordered
+// by Perm: Perm[0] varies slowest, Perm[len-1] fastest. The identity
+// permutation is row-major; the reversed permutation is column-major. This
+// is the dimension-reindexing family of layouts used by the baseline [27].
+type PermutedLayout struct {
+	Array *poly.Array
+	Perm  []int
+	label string
+}
+
+// RowMajor returns the default row-major layout of a.
+func RowMajor(a *poly.Array) *PermutedLayout {
+	perm := make([]int, a.Rank())
+	for i := range perm {
+		perm[i] = i
+	}
+	return &PermutedLayout{Array: a, Perm: perm, label: "row-major"}
+}
+
+// ColMajor returns the column-major layout of a.
+func ColMajor(a *poly.Array) *PermutedLayout {
+	perm := make([]int, a.Rank())
+	for i := range perm {
+		perm[i] = a.Rank() - 1 - i
+	}
+	return &PermutedLayout{Array: a, Perm: perm, label: "col-major"}
+}
+
+// Permuted returns the layout with the given dimension order (slowest
+// first). It panics if perm is not a permutation of the array dimensions.
+func Permuted(a *poly.Array, perm []int) *PermutedLayout {
+	if len(perm) != a.Rank() {
+		panic("layout: permutation length mismatch")
+	}
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			panic("layout: not a permutation")
+		}
+		seen[p] = true
+	}
+	return &PermutedLayout{Array: a, Perm: perm, label: fmt.Sprintf("permuted%v", perm)}
+}
+
+// Offset implements Layout.
+func (l *PermutedLayout) Offset(idx linalg.Vec) int64 {
+	var off int64
+	for _, d := range l.Perm {
+		off = off*l.Array.Dims[d] + idx[d]
+	}
+	return off
+}
+
+// SizeElems implements Layout.
+func (l *PermutedLayout) SizeElems() int64 { return l.Array.Size() }
+
+// Name implements Layout.
+func (l *PermutedLayout) Name() string { return l.label }
+
+// OptimizedLayout is the paper's inter-node file layout: the array is
+// partitioned by the Step I transform into per-thread data blocks along
+// transformed dimension V, each thread's elements are sequenced in
+// increasing hyperplane order, and the sequence is placed by the Step II
+// pattern (Algorithm 1).
+type OptimizedLayout struct {
+	Array   *poly.Array
+	T       *Transform
+	P       *Pattern
+	loV     int64 // minimum of w·a over the data space
+	hyCount int64 // number of distinct hyperplane values H = U-L+1
+	dbs     int64 // data-block size along V, ceil(H / plan.NumBlocks)
+	size    int64 // file size in elements
+
+	// Fast path (w = ±e_p): slab geometry.
+	axis   int   // p, or -1 when the table fallback is active
+	perH   int64 // elements per hyperplane (slab area)
+	stride []int64
+
+	// Table fallback for skewed w: row-major linear index → file offset.
+	table []int64
+}
+
+// NewOptimizedLayout builds the optimized layout of t.Array for pattern p.
+// The transform must be optimized (t.D non-nil).
+func NewOptimizedLayout(t *Transform, p *Pattern) (*OptimizedLayout, error) {
+	if !t.Optimized() {
+		return nil, fmt.Errorf("layout: array %s has no transform", t.Array.Name)
+	}
+	if t.Plan.Threads != p.Threads {
+		return nil, fmt.Errorf("layout: plan has %d threads but pattern interleaves %d", t.Plan.Threads, p.Threads)
+	}
+	ol := &OptimizedLayout{Array: t.Array, T: t, P: p, axis: -1}
+	lo, hi := int64(0), int64(0)
+	for k, wk := range t.W {
+		span := wk * (t.Array.Dims[k] - 1)
+		if span < 0 {
+			lo += span
+		} else {
+			hi += span
+		}
+	}
+	ol.loV = lo
+	ol.hyCount = hi - lo + 1
+	x := int64(t.Plan.NumBlocks)
+	ol.dbs = (ol.hyCount + x - 1) / x
+	if nz, p := singleAxis(t.W); nz {
+		ol.axis = p
+		ol.perH = t.Array.Size() / t.Array.Dims[p]
+		ol.stride = restStrides(t.Array.Dims, p)
+	} else {
+		ol.buildTable()
+	}
+	ol.size = ol.computeSize()
+	return ol, nil
+}
+
+// singleAxis reports whether w has exactly one nonzero component of
+// magnitude 1, returning its position.
+func singleAxis(w linalg.Vec) (bool, int) {
+	pos := -1
+	for k, x := range w {
+		if x == 0 {
+			continue
+		}
+		if pos >= 0 || (x != 1 && x != -1) {
+			return false, -1
+		}
+		pos = k
+	}
+	return pos >= 0, pos
+}
+
+// restStrides returns row-major strides over all dimensions except skip.
+func restStrides(dims []int64, skip int) []int64 {
+	s := make([]int64, len(dims))
+	acc := int64(1)
+	for k := len(dims) - 1; k >= 0; k-- {
+		if k == skip {
+			s[k] = 0
+			continue
+		}
+		s[k] = acc
+		acc *= dims[k]
+	}
+	return s
+}
+
+// hIndex returns w·a - L for element a.
+func (l *OptimizedLayout) hIndex(idx linalg.Vec) int64 { return l.T.W.Dot(idx) - l.loV }
+
+// dblockOf returns the data-block index along V of hyperplane index h.
+func (l *OptimizedLayout) dblockOf(h int64) int64 { return h / l.dbs }
+
+// threadOf returns the owning thread of data block d (round-robin,
+// mirroring the iteration-block assignment).
+func (l *OptimizedLayout) threadOf(d int64) int { return int(d % int64(l.T.Plan.Threads)) }
+
+// Offset implements Layout.
+func (l *OptimizedLayout) Offset(idx linalg.Vec) int64 {
+	if l.table != nil {
+		lin := int64(0)
+		for k, d := range l.Array.Dims {
+			lin = lin*d + idx[k]
+		}
+		return l.table[lin]
+	}
+	h := l.hIndex(idx)
+	d := l.dblockOf(h)
+	t := l.threadOf(d)
+	threads := int64(l.T.Plan.Threads)
+	// Hyperplanes in the thread's earlier data blocks are all full (only
+	// the globally last block can be short, and it is never earlier).
+	earlier := d / threads
+	e := (earlier*l.dbs+h%l.dbs)*l.perH + l.restRank(idx)
+	return l.P.Addr(t, e)
+}
+
+// restRank is the row-major rank of idx over all dimensions except the
+// partition axis.
+func (l *OptimizedLayout) restRank(idx linalg.Vec) int64 {
+	var r int64
+	for k, s := range l.stride {
+		r += idx[k] * s
+	}
+	return r
+}
+
+// buildTable constructs the full offset table for skewed partitioning
+// vectors: elements are bucketed by hyperplane value (preserving row-major
+// order inside a bucket), then each thread's buckets are concatenated in
+// increasing hyperplane order and placed by the pattern.
+func (l *OptimizedLayout) buildTable() {
+	a := l.Array
+	size := a.Size()
+	l.table = make([]int64, size)
+
+	counts := make([]int64, l.hyCount)
+	idx := make(linalg.Vec, a.Rank())
+	forEachIndex(a.Dims, idx, func(lin int64) {
+		counts[l.hIndex(idx)]++
+	})
+	// bucketStart[h] = first slot of hyperplane h in a global ordering by
+	// hyperplane value.
+	bucketStart := make([]int64, l.hyCount+1)
+	for h := int64(0); h < l.hyCount; h++ {
+		bucketStart[h+1] = bucketStart[h] + counts[h]
+	}
+	// byH holds the row-major linear indices ordered by (h, lex).
+	byH := make([]int64, size)
+	fill := make([]int64, l.hyCount)
+	copy(fill, bucketStart[:l.hyCount])
+	forEachIndex(a.Dims, idx, func(lin int64) {
+		h := l.hIndex(idx)
+		byH[fill[h]] = lin
+		fill[h]++
+	})
+	// Walk each thread's data blocks in order, assigning sequence numbers.
+	threads := int64(l.T.Plan.Threads)
+	nblocks := (l.hyCount + l.dbs - 1) / l.dbs
+	for t := int64(0); t < threads; t++ {
+		var e int64
+		for d := t; d < nblocks; d += threads {
+			hLo := d * l.dbs
+			hHi := hLo + l.dbs
+			if hHi > l.hyCount {
+				hHi = l.hyCount
+			}
+			for s := bucketStart[hLo]; s < bucketStart[hHi]; s++ {
+				l.table[byH[s]] = l.P.Addr(int(t), e)
+				e++
+			}
+		}
+	}
+}
+
+// forEachIndex enumerates the box [0,dims) in row-major order, reusing idx
+// and passing the row-major linear index.
+func forEachIndex(dims []int64, idx linalg.Vec, f func(lin int64)) {
+	var rec func(k int, lin int64)
+	rec = func(k int, lin int64) {
+		if k == len(dims) {
+			f(lin)
+			return
+		}
+		for v := int64(0); v < dims[k]; v++ {
+			idx[k] = v
+			rec(k+1, lin*dims[k]+v)
+		}
+	}
+	rec(0, 0)
+}
+
+// computeSize returns 1 + the maximum file offset the layout can produce.
+func (l *OptimizedLayout) computeSize() int64 {
+	if l.table != nil {
+		max := int64(0)
+		for _, off := range l.table {
+			if off > max {
+				max = off
+			}
+		}
+		return max + 1
+	}
+	threads := int64(l.T.Plan.Threads)
+	nblocks := (l.hyCount + l.dbs - 1) / l.dbs
+	max := int64(0)
+	for t := int64(0); t < threads && t < nblocks; t++ {
+		// Count the hyperplanes thread t owns.
+		var hs int64
+		for d := t; d < nblocks; d += threads {
+			hLo := d * l.dbs
+			hHi := hLo + l.dbs
+			if hHi > l.hyCount {
+				hHi = l.hyCount
+			}
+			hs += hHi - hLo
+		}
+		if hs == 0 {
+			continue
+		}
+		if end := l.P.Addr(int(t), hs*l.perH-1) + 1; end > max {
+			max = end
+		}
+	}
+	return max
+}
+
+// SizeElems implements Layout.
+func (l *OptimizedLayout) SizeElems() int64 { return l.size }
+
+// Name implements Layout.
+func (l *OptimizedLayout) Name() string { return "inter-node" }

@@ -1,0 +1,360 @@
+package layout
+
+import (
+	"fmt"
+	"testing"
+
+	"flopt/internal/lang"
+	"flopt/internal/linalg"
+	"flopt/internal/poly"
+)
+
+func TestPermutedLayouts(t *testing.T) {
+	a := &poly.Array{Name: "A", Dims: []int64{3, 4}}
+	rm := RowMajor(a)
+	if rm.Offset(linalg.Vec{1, 2}) != 6 {
+		t.Errorf("row-major offset = %d, want 6", rm.Offset(linalg.Vec{1, 2}))
+	}
+	cm := ColMajor(a)
+	if cm.Offset(linalg.Vec{1, 2}) != 2*3+1 {
+		t.Errorf("col-major offset = %d, want 7", cm.Offset(linalg.Vec{1, 2}))
+	}
+	if rm.SizeElems() != 12 || cm.SizeElems() != 12 {
+		t.Error("size wrong")
+	}
+	if rm.Name() != "row-major" || cm.Name() != "col-major" {
+		t.Error("names wrong")
+	}
+}
+
+func TestPermutedLayoutBijective(t *testing.T) {
+	a := &poly.Array{Name: "A", Dims: []int64{4, 3, 5}}
+	for _, l := range []Layout{RowMajor(a), ColMajor(a), Permuted(a, []int{1, 0, 2})} {
+		seen := make(map[int64]bool, a.Size())
+		idx := make(linalg.Vec, 3)
+		forEachIndex(a.Dims, idx, func(lin int64) {
+			off := l.Offset(idx)
+			if off < 0 || off >= l.SizeElems() {
+				t.Fatalf("%s: offset %d outside [0, %d)", l.Name(), off, l.SizeElems())
+			}
+			if seen[off] {
+				t.Fatalf("%s: duplicate offset %d", l.Name(), off)
+			}
+			seen[off] = true
+		})
+	}
+}
+
+func TestPermutedPanics(t *testing.T) {
+	a := &poly.Array{Name: "A", Dims: []int64{4, 4}}
+	for _, perm := range [][]int{{0}, {0, 0}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("perm %v accepted", perm)
+				}
+			}()
+			Permuted(a, perm)
+		}()
+	}
+}
+
+// smallHierarchy: 4 threads, 2 per SC1 cache, chunk 4 elements.
+func smallHierarchy() Hierarchy {
+	return Hierarchy{Levels: []Level{
+		{Name: "SC1", CapacityElems: 8, Fanout: 2},
+		{Name: "SC2", CapacityElems: 64, Fanout: 2},
+	}}
+}
+
+func optimizedFor(t testing.TB, src, arr string) *OptimizedLayout {
+	t.Helper()
+	p, plans := parseProg(t, src, 4)
+	tr, err := SolveTransform(p, p.Array(arr), plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Optimized() {
+		t.Fatalf("%s not optimized", arr)
+	}
+	pat, err := NewPattern(smallHierarchy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := NewOptimizedLayout(tr, pat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ol
+}
+
+const rowSrc = `
+array A[16][16];
+parallel(i) for i = 0 to 15 { for j = 0 to 15 { read A[i][j]; } }
+`
+
+const transposeSrc = `
+array B[16][16];
+parallel(i) for i = 0 to 15 { for j = 0 to 15 { read B[j][i]; } }
+`
+
+const diagSrc = `
+array A[12][12];
+parallel(i) for i = 0 to 11 { for j = 0 to 11 { read A[i+j][j]; } }
+`
+
+func checkBijective(t testing.TB, ol *OptimizedLayout) {
+	t.Helper()
+	seen := make(map[int64]linalg.Vec, ol.Array.Size())
+	idx := make(linalg.Vec, ol.Array.Rank())
+	forEachIndex(ol.Array.Dims, idx, func(lin int64) {
+		off := ol.Offset(idx)
+		if off < 0 || off >= ol.SizeElems() {
+			t.Fatalf("offset %d of %v outside [0, %d)", off, idx, ol.SizeElems())
+		}
+		if prev, dup := seen[off]; dup {
+			t.Fatalf("offset %d assigned to both %v and %v", off, prev, idx)
+		}
+		seen[off] = idx.Clone()
+	})
+}
+
+func TestOptimizedLayoutBijectiveFastPath(t *testing.T) {
+	checkBijective(t, optimizedFor(t, rowSrc, "A"))
+	checkBijective(t, optimizedFor(t, transposeSrc, "B"))
+}
+
+func TestOptimizedLayoutBijectiveTablePath(t *testing.T) {
+	ol := optimizedFor(t, diagSrc, "A")
+	if ol.table == nil {
+		t.Fatal("diagonal transform should use the table path")
+	}
+	checkBijective(t, ol)
+}
+
+// The defining property of the optimized layout: each thread's elements
+// occupy whole chunks — within any chunk-sized aligned window of that
+// thread's region, all elements belong to the same thread.
+func TestOptimizedLayoutGroupsThreadData(t *testing.T) {
+	ol := optimizedFor(t, rowSrc, "A")
+	// Reconstruct the owning thread of each file offset.
+	owner := make(map[int64]int)
+	idx := make(linalg.Vec, 2)
+	forEachIndex(ol.Array.Dims, idx, func(lin int64) {
+		h := ol.hIndex(idx)
+		th := ol.threadOf(ol.dblockOf(h))
+		owner[ol.Offset(idx)] = th
+	})
+	chunk := ol.P.ChunkElems
+	for off, th := range owner {
+		base := off - off%chunk
+		for e := base; e < base+chunk; e++ {
+			if other, ok := owner[e]; ok && other != th {
+				t.Fatalf("chunk at %d mixes threads %d and %d", base, th, other)
+			}
+		}
+	}
+}
+
+// Row-access case: thread 0's first elements must be contiguous from its
+// pattern base, in increasing (i, j) order.
+func TestOptimizedLayoutSequencing(t *testing.T) {
+	ol := optimizedFor(t, rowSrc, "A")
+	base := ol.P.ThreadBase(0)
+	// Thread 0 owns data block 0: rows 0..3 of the 16×16 array. Its first
+	// chunk (4 elements) is A[0][0..3].
+	for j := int64(0); j < 4; j++ {
+		if got := ol.Offset(linalg.Vec{0, j}); got != base+j {
+			t.Errorf("A[0][%d] at %d, want %d", j, got, base+j)
+		}
+	}
+}
+
+// The fast path and the table fallback must agree exactly.
+func TestFastPathMatchesTable(t *testing.T) {
+	for _, src := range []string{rowSrc, transposeSrc} {
+		arr := "A"
+		if src == transposeSrc {
+			arr = "B"
+		}
+		fast := optimizedFor(t, src, arr)
+		if fast.table != nil {
+			t.Fatal("expected fast path")
+		}
+		forced := *fast
+		forced.table = nil
+		forced.buildTable()
+		idx := make(linalg.Vec, 2)
+		forEachIndex(fast.Array.Dims, idx, func(lin int64) {
+			a, b := fast.Offset(idx), forced.table[lin]
+			if a != b {
+				t.Fatalf("%s %v: fast %d ≠ table %d", arr, idx, a, b)
+			}
+		})
+	}
+}
+
+func TestNewOptimizedLayoutRejects(t *testing.T) {
+	p, plans := parseProg(t, `
+array Y[8][8];
+parallel(i) for i = 0 to 7 { for j = 0 to 7 { for k = 0 to 7 { read Y[k][j]; } } }
+`, 4)
+	tr, err := SolveTransform(p, p.Array("Y"), plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := NewPattern(smallHierarchy(), 1)
+	if _, err := NewOptimizedLayout(tr, pat); err == nil {
+		t.Error("unoptimized transform accepted")
+	}
+}
+
+func TestOptimizeEndToEnd(t *testing.T) {
+	src := `
+array W[16][16];
+array X[16][16];
+array Y[16][16];
+parallel(i) for i = 0 to 15 { for j = 0 to 15 { for k = 0 to 15 {
+    write W[i][j]; read X[i][k]; read Y[k][j];
+} } }
+`
+	p, _ := parseProg(t, src, 4)
+	res, err := Optimize(p, Options{Hierarchy: smallHierarchy(), BlockElems: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, total := res.OptimizedCount()
+	if opt != 2 || total != 3 {
+		t.Errorf("optimized %d/%d, want 2/3", opt, total)
+	}
+	if _, ok := res.Layouts["W"].(*OptimizedLayout); !ok {
+		t.Error("W should get the inter-node layout")
+	}
+	if res.Layouts["Y"].Name() != "row-major" {
+		t.Error("Y should fall back to row-major")
+	}
+	if res.Pattern == nil || len(res.Plans) != 1 {
+		t.Error("missing pattern or plans")
+	}
+}
+
+func TestOptimizeValidations(t *testing.T) {
+	p, _ := parseProg(t, rowSrc, 4)
+	if _, err := Optimize(p, Options{Hierarchy: smallHierarchy(), BlockElems: 0}); err == nil {
+		t.Error("zero BlockElems accepted")
+	}
+	if _, err := Optimize(p, Options{Hierarchy: Hierarchy{}, BlockElems: 4}); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+}
+
+func TestDefaultLayouts(t *testing.T) {
+	p, _ := parseProg(t, rowSrc, 4)
+	m := DefaultLayouts(p)
+	if len(m) != 1 || m["A"].Name() != "row-major" {
+		t.Errorf("DefaultLayouts = %v", m)
+	}
+}
+
+func TestOptimizedLayoutSizeCoversOffsets(t *testing.T) {
+	for _, tc := range []struct{ src, arr string }{
+		{rowSrc, "A"}, {transposeSrc, "B"}, {diagSrc, "A"},
+	} {
+		ol := optimizedFor(t, tc.src, tc.arr)
+		max := int64(-1)
+		idx := make(linalg.Vec, 2)
+		forEachIndex(ol.Array.Dims, idx, func(lin int64) {
+			if off := ol.Offset(idx); off > max {
+				max = off
+			}
+		})
+		if ol.SizeElems() != max+1 {
+			t.Errorf("%s/%s: SizeElems = %d, want %d", tc.src[:10], tc.arr, ol.SizeElems(), max+1)
+		}
+	}
+}
+
+// 3-D coverage: a rank-3 array accessed as a plane transpose must get a
+// bijective optimized layout through both steps.
+func TestOptimizedLayout3D(t *testing.T) {
+	src := `
+array V[8][6][10];
+parallel(i) for i = 0 to 7 { for j = 0 to 5 { for k = 0 to 9 { read V[i][j][k]; } } }
+`
+	ol := optimizedFor(t, src, "V")
+	checkBijective(t, ol)
+
+	src2 := `
+array V[6][8][10];
+parallel(i) for i = 0 to 7 { for j = 0 to 5 { for k = 0 to 9 { read V[j][i][k]; } } }
+`
+	ol2 := optimizedFor(t, src2, "V")
+	checkBijective(t, ol2)
+	// The partition must run along the dimension indexed by i (dim 1).
+	if !ol2.T.W.Equal(linalg.Vec{0, 1, 0}) {
+		t.Errorf("w = %v, want (0, 1, 0)", ol2.T.W)
+	}
+}
+
+// Property test: for random small hierarchies and array shapes, the
+// optimized layout is always a bijection into a bounded file.
+func TestOptimizedLayoutQuick(t *testing.T) {
+	cases := []struct {
+		d1, d2  int64
+		l, n2   int
+		s1, s2  int64
+		blockSz int64
+		srcKind int // 0 row, 1 transpose, 2 diagonal
+	}{
+		{12, 16, 2, 2, 8, 64, 2, 0},
+		{16, 12, 2, 2, 8, 64, 4, 1},
+		{9, 9, 3, 2, 6, 72, 3, 2},
+		{20, 8, 2, 3, 16, 128, 4, 1},
+		{7, 13, 2, 2, 10, 50, 2, 2},
+	}
+	srcs := []string{
+		"array A[%d][%d];\nparallel(i) for i = 0 to %d { for j = 0 to %d { read A[i][j]; } }",
+		"array A[%d][%d];\nparallel(i) for i = 0 to %d { for j = 0 to %d { read A[j][i]; } }",
+	}
+	for ci, c := range cases {
+		var src string
+		if c.srcKind == 2 {
+			// diagonal: A[(i+j)][j] with first dim large enough
+			src = sprintf("array A[%d][%d];\nparallel(i) for i = 0 to %d { for j = 0 to %d { read A[i+j][j]; } }",
+				c.d1+c.d2, c.d2, c.d1-1, c.d2-1)
+		} else if c.srcKind == 1 {
+			src = sprintf(srcs[1], c.d1, c.d2, c.d2-1, c.d1-1)
+		} else {
+			src = sprintf(srcs[0], c.d1, c.d2, c.d1-1, c.d2-1)
+		}
+		p, err := parseQuick(src)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		h := Hierarchy{Levels: []Level{
+			{Name: "SC1", CapacityElems: c.s1 * int64(c.l), Fanout: c.l},
+			{Name: "SC2", CapacityElems: c.s2, Fanout: c.n2},
+		}}
+		res, err := Optimize(p, Options{Hierarchy: h, BlockElems: c.blockSz})
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		for name, l := range res.Layouts {
+			ol, ok := l.(*OptimizedLayout)
+			if !ok {
+				continue
+			}
+			checkBijective(t, ol)
+			a := p.Array(name)
+			if l.SizeElems() > 4*a.Size()+c.blockSz*int64(h.Threads()) {
+				t.Errorf("case %d %s: file ballooned to %d for %d elements", ci, name, l.SizeElems(), a.Size())
+			}
+		}
+	}
+}
+
+// sprintf is a tiny local alias keeping the table-driven quick test terse.
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// parseQuick compiles source without a testing.TB.
+func parseQuick(src string) (*poly.Program, error) { return lang.Parse("quick", src) }

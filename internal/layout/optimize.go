@@ -1,0 +1,159 @@
+package layout
+
+import (
+	"fmt"
+
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+)
+
+// Options configures the whole-program optimization.
+type Options struct {
+	// Hierarchy is the storage-cache topology to target. Its fanout
+	// product determines the thread count.
+	Hierarchy Hierarchy
+	// BlockElems is the cache-management/stripe unit in elements; thread
+	// chunks are aligned to it. Must be ≥ 1.
+	BlockElems int64
+	// BlocksPerThread scales the iteration-block count per thread
+	// (default 1: one iteration block per thread, as in the paper's
+	// default distribution).
+	BlocksPerThread int
+	// UnweightedEq5 disables the Eq. 5 weighted conflict resolution
+	// (ablation study): conflicting reference groups are then considered
+	// in first-reference order instead of heaviest-first.
+	UnweightedEq5 bool
+	// FlatPattern disables the hierarchy-aware Step II interleaving
+	// (ablation study): each array is laid out as plain per-thread slabs
+	// with no capacity-aware pattern nesting.
+	FlatPattern bool
+}
+
+// Result carries the outcome of the whole-program pass: the plans chosen
+// for each nest, the Step I transform and final layout per array, and the
+// compiled Step II pattern.
+type Result struct {
+	Program *poly.Program
+	// Pattern is the platform-level Step II pattern (uncapped chunk). The
+	// per-array patterns actually used by the layouts cap the chunk at
+	// each array's per-thread share; see the OptimizedLayout values in
+	// Layouts.
+	Pattern    *Pattern
+	Plans      map[*poly.LoopNest]*parallel.Plan
+	Transforms map[string]*Transform
+	Layouts    map[string]Layout
+}
+
+// Optimize runs the full inter-node file layout optimization over a
+// program: parallelization plans per nest, Step I per array, Step II
+// pattern construction, and layout selection (arrays whose Step I fails
+// keep their default row-major layout, as in the paper).
+func Optimize(p *poly.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.BlockElems < 1 {
+		return nil, fmt.Errorf("layout: BlockElems must be ≥ 1")
+	}
+	threads := opts.Hierarchy.Threads()
+	pattern, err := NewPattern(opts.Hierarchy, opts.BlockElems)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Program:    p,
+		Pattern:    pattern,
+		Plans:      make(map[*poly.LoopNest]*parallel.Plan, len(p.Nests)),
+		Transforms: make(map[string]*Transform, len(p.Arrays)),
+		Layouts:    make(map[string]Layout, len(p.Arrays)),
+	}
+	for _, n := range p.Nests {
+		plan, err := parallel.NewPlan(n, threads, opts.BlocksPerThread)
+		if err != nil {
+			return nil, fmt.Errorf("layout: nest parallelization: %w", err)
+		}
+		res.Plans[n] = plan
+	}
+	for _, a := range p.Arrays {
+		tr, err := solveTransform(p, a, res.Plans, !opts.UnweightedEq5)
+		if err != nil {
+			return nil, err
+		}
+		res.Transforms[a.Name] = tr
+		if tr.Optimized() {
+			// Cap the chunk at the array's per-thread share so small
+			// arrays are packed tightly instead of scattered across a
+			// mostly-empty pattern period, and prefer a chunk that tiles
+			// the share exactly (no partial-chunk holes).
+			perThread := (a.Size() + int64(threads) - 1) / int64(threads)
+			hier := opts.Hierarchy
+			platformChunk := pattern.ChunkElems
+			if opts.FlatPattern {
+				// Flat ablation: one level spanning all threads with a
+				// per-thread slab chunk — no capacity-aware nesting.
+				hier = Hierarchy{Levels: []Level{{
+					Name:          "flat",
+					CapacityElems: perThread * int64(threads),
+					Fanout:        threads,
+				}}}
+				platformChunk = perThread
+			}
+			chunk := chunkCapFor(perThread, platformChunk, opts.BlockElems)
+			maxChunks := (perThread + chunk - 1) / chunk
+			apat, err := NewPatternFor(hier, opts.BlockElems, chunk, maxChunks)
+			if err != nil {
+				return nil, err
+			}
+			ol, err := NewOptimizedLayout(tr, apat)
+			if err != nil {
+				return nil, err
+			}
+			res.Layouts[a.Name] = ol
+		} else {
+			res.Layouts[a.Name] = RowMajor(a)
+		}
+	}
+	return res, nil
+}
+
+// chunkCapFor picks the per-thread chunk size for one array: the largest
+// block-aligned divisor of the thread's share that does not exceed the
+// platform chunk (the SC1 cache share). Exact division avoids file holes;
+// when no aligned divisor exists the share itself is used (NewPatternSized
+// still aligns and caps it).
+func chunkCapFor(perThread, platformChunk, blockElems int64) int64 {
+	limit := platformChunk
+	if perThread < limit {
+		limit = perThread
+	}
+	limit -= limit % blockElems
+	for c := limit; c >= blockElems; c -= blockElems {
+		if perThread%c == 0 {
+			return c
+		}
+	}
+	return perThread
+}
+
+// OptimizedCount returns how many referenced arrays received an optimized
+// layout and how many arrays the program declares (the §5.1 "72 % of
+// arrays" statistic).
+func (r *Result) OptimizedCount() (optimized, total int) {
+	for _, a := range r.Program.Arrays {
+		total++
+		if tr := r.Transforms[a.Name]; tr != nil && tr.Optimized() {
+			optimized++
+		}
+	}
+	return optimized, total
+}
+
+// DefaultLayouts returns the row-major layout for every array of p — the
+// paper's "default execution" configuration.
+func DefaultLayouts(p *poly.Program) map[string]Layout {
+	m := make(map[string]Layout, len(p.Arrays))
+	for _, a := range p.Arrays {
+		m[a.Name] = RowMajor(a)
+	}
+	return m
+}

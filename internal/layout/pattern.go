@@ -1,0 +1,207 @@
+package layout
+
+import "fmt"
+
+// Level describes one storage-cache layer of the hierarchy, bottom-up: the
+// first level is SC1 (the caches closest to the compute nodes, e.g. I/O
+// node caches), the last is SCn (e.g. storage node caches).
+type Level struct {
+	Name string
+	// CapacityElems is the per-cache capacity S_i expressed in array
+	// elements (block count × elements per block).
+	CapacityElems int64
+	// Fanout is N_i: how many caches (or, for the first level, threads)
+	// of the layer below connect to one cache of this level. For level 0
+	// the fanout is the number of threads per SC1 cache (the paper's l).
+	Fanout int
+}
+
+// Hierarchy is the storage-cache topology Step II targets.
+type Hierarchy struct {
+	Levels []Level
+}
+
+// Validate checks the hierarchy is usable for pattern construction.
+func (h Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("layout: hierarchy has no cache levels")
+	}
+	for i, l := range h.Levels {
+		if l.CapacityElems < 1 {
+			return fmt.Errorf("layout: level %d (%s) has non-positive capacity", i, l.Name)
+		}
+		if l.Fanout < 1 {
+			return fmt.Errorf("layout: level %d (%s) has non-positive fanout", i, l.Name)
+		}
+	}
+	return nil
+}
+
+// Threads returns the total thread count the hierarchy serves: the product
+// of all fanouts.
+func (h Hierarchy) Threads() int {
+	n := 1
+	for _, l := range h.Levels {
+		n *= l.Fanout
+	}
+	return n
+}
+
+// Pattern is the compiled thread-interleaved layout pattern of §4.2 /
+// Algorithm 1. It maps (thread, chunk index) pairs to file addresses in
+// closed form:
+//
+//	addr(t, x) = base_t + b_n + b_{n-1} + … + b_1
+//	b_i = ((x / (t_1⋯t_{i-1})) mod t_i) · P_i   (i < n)
+//	b_n = (x / (t_1⋯t_{n-1})) · P_n
+//
+// where P_i is the constructed size of the SCi pattern and t_i the number
+// of times an SCi pattern repeats inside an SC(i+1) pattern.
+type Pattern struct {
+	// ChunkElems is the contiguous per-thread chunk size (the paper's
+	// S_1/l), in elements.
+	ChunkElems int64
+	// Threads is the number of threads the pattern interleaves.
+	Threads int
+	// fanout[i] is N_{i+1} for level i (fanout[0] = l).
+	fanout []int
+	// repeat[i] is t_{i+1}: repetitions of the level-i pattern inside the
+	// level-(i+1) pattern; len(repeat) = levels-1.
+	repeat []int64
+	// size[i] is P_{i+1}: the constructed size of the level-i pattern.
+	size []int64
+	// threadsBelow[i] is the number of threads under one level-i cache.
+	threadsBelow []int
+}
+
+// NewPattern compiles a hierarchy into an addressing pattern. chunkAlign
+// forces the per-thread chunk size to a multiple of the given element count
+// (callers pass the data block size so chunks stay block-aligned); pass 1
+// for no alignment.
+func NewPattern(h Hierarchy, chunkAlign int64) (*Pattern, error) {
+	return NewPatternSized(h, chunkAlign, 0)
+}
+
+// NewPatternSized is NewPattern with a cap on the per-thread chunk size
+// (0 = uncapped). Capping matters when a thread's entire share of an array
+// is smaller than its SC1 cache share: an uncapped chunk would leave holes
+// in the file, scattering the data and destroying disk sequentiality, so
+// the whole-program optimizer caps each array's chunk at the array's
+// per-thread share.
+func NewPatternSized(h Hierarchy, chunkAlign, chunkCap int64) (*Pattern, error) {
+	return NewPatternFor(h, chunkAlign, chunkCap, 0)
+}
+
+// NewPatternFor additionally caps the pattern's repetition counts so that
+// the cumulative repeats never exceed maxChunksPerThread (0 = uncapped):
+// building an SC(i+1) pattern with room for eight chunk repetitions is
+// pure file inflation when every thread only ever has one chunk.
+func NewPatternFor(h Hierarchy, chunkAlign, chunkCap, maxChunksPerThread int64) (*Pattern, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if chunkAlign < 1 {
+		chunkAlign = 1
+	}
+	l := h.Levels[0].Fanout
+	chunk := h.Levels[0].CapacityElems / int64(l)
+	if chunkCap > 0 && chunk > chunkCap {
+		chunk = chunkCap
+		if rem := chunk % chunkAlign; rem != 0 {
+			chunk += chunkAlign - rem // round the cap up to stay aligned
+		}
+	}
+	chunk -= chunk % chunkAlign
+	if chunk < chunkAlign {
+		chunk = chunkAlign // degenerate cache: one aligned unit per thread
+	}
+	p := &Pattern{ChunkElems: chunk, Threads: h.Threads()}
+	p.fanout = make([]int, len(h.Levels))
+	p.threadsBelow = make([]int, len(h.Levels))
+	tb := 1
+	for i, lv := range h.Levels {
+		p.fanout[i] = lv.Fanout
+		tb *= lv.Fanout
+		p.threadsBelow[i] = tb
+	}
+	p.size = make([]int64, len(h.Levels))
+	p.size[0] = chunk * int64(l)
+	p.repeat = make([]int64, len(h.Levels)-1)
+	repeatsSoFar := int64(1)
+	for i := 1; i < len(h.Levels); i++ {
+		// t_i = S_{i+1} / (N_{i+1}·S_i), clamped to ≥ 1 so degenerate
+		// capacity ratios still yield a valid interleaving.
+		t := h.Levels[i].CapacityElems / (int64(h.Levels[i].Fanout) * p.size[i-1])
+		if t < 1 {
+			t = 1
+		}
+		if maxChunksPerThread > 0 {
+			// Never build room for more chunk repetitions than any thread
+			// will produce.
+			if lim := (maxChunksPerThread + repeatsSoFar - 1) / repeatsSoFar; t > lim {
+				t = lim
+			}
+			if t < 1 {
+				t = 1
+			}
+		}
+		p.repeat[i-1] = t
+		repeatsSoFar *= t
+		p.size[i] = int64(h.Levels[i].Fanout) * t * p.size[i-1]
+	}
+	return p, nil
+}
+
+// Levels returns the number of cache levels the pattern interleaves for.
+func (p *Pattern) Levels() int { return len(p.size) }
+
+// PatternSize returns P_i, the constructed size in elements of the level-i
+// (0-based) pattern.
+func (p *Pattern) PatternSize(i int) int64 { return p.size[i] }
+
+// Repeat returns t_{i+1}, the repetitions of the level-i pattern inside the
+// level-(i+1) pattern.
+func (p *Pattern) Repeat(i int) int64 { return p.repeat[i] }
+
+// ThreadBase returns base_t: the file address of thread t's chunk 0.
+func (p *Pattern) ThreadBase(t int) int64 {
+	if t < 0 || t >= p.Threads {
+		panic(fmt.Sprintf("layout: thread %d outside [0, %d)", t, p.Threads))
+	}
+	base := int64(t%p.fanout[0]) * p.ChunkElems
+	for i := 1; i < len(p.size); i++ {
+		// Index of the thread's level-(i-1) cache among the children of
+		// its level-i cache.
+		child := (t / p.threadsBelow[i-1]) % p.fanout[i]
+		base += int64(child) * p.repeat[i-1] * p.size[i-1]
+	}
+	return base
+}
+
+// ChunkAddr returns the file address of the xth chunk (x ≥ 0) of thread t —
+// the closed form of Algorithm 1.
+func (p *Pattern) ChunkAddr(t int, x int64) int64 {
+	if x < 0 {
+		panic("layout: negative chunk index")
+	}
+	addr := p.ThreadBase(t)
+	rem := x
+	for i := 0; i < len(p.repeat); i++ {
+		addr += (rem % p.repeat[i]) * p.size[i]
+		rem /= p.repeat[i]
+	}
+	addr += rem * p.size[len(p.size)-1]
+	return addr
+}
+
+// Addr maps the eth element (0-based) of thread t's access sequence to its
+// file address: chunk e/ChunkElems at offset e%ChunkElems.
+func (p *Pattern) Addr(t int, e int64) int64 {
+	return p.ChunkAddr(t, e/p.ChunkElems) + e%p.ChunkElems
+}
+
+// String summarizes the compiled pattern.
+func (p *Pattern) String() string {
+	return fmt.Sprintf("pattern{threads=%d chunk=%d sizes=%v repeats=%v}",
+		p.Threads, p.ChunkElems, p.size, p.repeat)
+}

@@ -1,0 +1,194 @@
+package layout
+
+import "testing"
+
+// paperHierarchy mirrors Fig. 6(c): 4 threads, 2 SC1 caches (l = 2 threads
+// each), 1 SC2 cache over both (N_2 = 2). S_1 = 4 elements, S_2 = 16
+// elements ⇒ chunk = 2, t_1 = 16/(2·4) = 2.
+func paperHierarchy() Hierarchy {
+	return Hierarchy{Levels: []Level{
+		{Name: "SC1", CapacityElems: 4, Fanout: 2},
+		{Name: "SC2", CapacityElems: 16, Fanout: 2},
+	}}
+}
+
+func TestNewPatternPaperExample(t *testing.T) {
+	p, err := NewPattern(paperHierarchy(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Threads != 4 || p.ChunkElems != 2 {
+		t.Fatalf("threads=%d chunk=%d, want 4/2", p.Threads, p.ChunkElems)
+	}
+	if p.PatternSize(0) != 4 || p.PatternSize(1) != 16 || p.Repeat(0) != 2 {
+		t.Fatalf("P1=%d P2=%d t1=%d, want 4/16/2", p.PatternSize(0), p.PatternSize(1), p.Repeat(0))
+	}
+}
+
+func TestThreadBasePaperExample(t *testing.T) {
+	p, _ := NewPattern(paperHierarchy(), 1)
+	// SC2 pattern: <P1 P2 P1 P2 | P3 P4 P3 P4> with chunks of 2 elements.
+	wantBase := []int64{0, 2, 8, 10}
+	for th, want := range wantBase {
+		if got := p.ThreadBase(th); got != want {
+			t.Errorf("base of thread %d = %d, want %d", th, got, want)
+		}
+	}
+}
+
+func TestChunkAddrPaperExample(t *testing.T) {
+	p, _ := NewPattern(paperHierarchy(), 1)
+	// Thread 0 (P1): chunk 0 at 0, chunk 1 at 4 (second repetition of
+	// <P1,P2>), chunk 2 at 16 (next SC2 period), chunk 3 at 20.
+	want := []int64{0, 4, 16, 20}
+	for x, w := range want {
+		if got := p.ChunkAddr(0, int64(x)); got != w {
+			t.Errorf("chunk %d of thread 0 at %d, want %d", x, got, w)
+		}
+	}
+	// Thread 2 (P3): starts in the second half of the SC2 pattern.
+	want = []int64{8, 12, 24, 28}
+	for x, w := range want {
+		if got := p.ChunkAddr(2, int64(x)); got != w {
+			t.Errorf("chunk %d of thread 2 at %d, want %d", x, got, w)
+		}
+	}
+}
+
+// All chunks across threads must tile the file with no gaps or overlaps:
+// within one top-level pattern period, the union of chunk intervals is
+// exactly [0, P_n).
+func TestPatternTilesPeriod(t *testing.T) {
+	hierarchies := []Hierarchy{
+		paperHierarchy(),
+		{Levels: []Level{{Name: "SC1", CapacityElems: 8, Fanout: 4}}},
+		{Levels: []Level{
+			{Name: "SC1", CapacityElems: 6, Fanout: 3},
+			{Name: "SC2", CapacityElems: 36, Fanout: 2},
+		}},
+		{Levels: []Level{
+			{Name: "SC1", CapacityElems: 4, Fanout: 2},
+			{Name: "SC2", CapacityElems: 16, Fanout: 2},
+			{Name: "SC3", CapacityElems: 64, Fanout: 2},
+		}},
+	}
+	for hi, h := range hierarchies {
+		p, err := NewPattern(h, 1)
+		if err != nil {
+			t.Fatalf("hierarchy %d: %v", hi, err)
+		}
+		chunksPerThread := int64(1)
+		for i := 0; i < p.Levels()-1; i++ {
+			chunksPerThread *= p.Repeat(i)
+		}
+		period := p.PatternSize(p.Levels() - 1)
+		covered := make([]bool, period)
+		for th := 0; th < p.Threads; th++ {
+			for x := int64(0); x < chunksPerThread; x++ {
+				addr := p.ChunkAddr(th, x)
+				for e := addr; e < addr+p.ChunkElems; e++ {
+					if e >= period {
+						t.Fatalf("hierarchy %d: chunk (%d,%d) spills past period: %d ≥ %d", hi, th, x, e, period)
+					}
+					if covered[e] {
+						t.Fatalf("hierarchy %d: overlap at element %d", hi, e)
+					}
+					covered[e] = true
+				}
+			}
+		}
+		for e, ok := range covered {
+			if !ok {
+				t.Fatalf("hierarchy %d: gap at element %d", hi, e)
+			}
+		}
+	}
+}
+
+// The second period must be a pure translation of the first by P_n.
+func TestPatternPeriodicity(t *testing.T) {
+	p, _ := NewPattern(paperHierarchy(), 1)
+	chunksPerPeriod := p.Repeat(0)
+	period := p.PatternSize(1)
+	for th := 0; th < p.Threads; th++ {
+		for x := int64(0); x < chunksPerPeriod; x++ {
+			a := p.ChunkAddr(th, x)
+			b := p.ChunkAddr(th, x+chunksPerPeriod)
+			if b != a+period {
+				t.Fatalf("thread %d chunk %d: period broken: %d vs %d+%d", th, x, b, a, period)
+			}
+		}
+	}
+}
+
+func TestPatternChunkAlignment(t *testing.T) {
+	h := Hierarchy{Levels: []Level{
+		{Name: "SC1", CapacityElems: 100, Fanout: 3}, // 100/3 = 33 → aligned down to 32
+		{Name: "SC2", CapacityElems: 1000, Fanout: 2},
+	}}
+	p, err := NewPattern(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChunkElems != 32 {
+		t.Errorf("chunk = %d, want 32", p.ChunkElems)
+	}
+}
+
+func TestPatternDegenerateRatios(t *testing.T) {
+	// Aggregate SC1 capacity exceeds SC2 (the paper's own default: 16×1 GB
+	// I/O caches over 4×2 GB storage caches): t_1 clamps to 1.
+	h := Hierarchy{Levels: []Level{
+		{Name: "io", CapacityElems: 1024, Fanout: 4},
+		{Name: "storage", CapacityElems: 2048, Fanout: 4},
+	}}
+	p, err := NewPattern(h, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Repeat(0) != 1 {
+		t.Errorf("t1 = %d, want clamp to 1", p.Repeat(0))
+	}
+	if p.PatternSize(1) != 4*1024 {
+		t.Errorf("P2 = %d, want 4096", p.PatternSize(1))
+	}
+}
+
+func TestPatternAddr(t *testing.T) {
+	p, _ := NewPattern(paperHierarchy(), 1)
+	// Element sequence of thread 0: e=0,1 in chunk 0 (addr 0,1), e=2,3 in
+	// chunk 1 (addr 4,5), e=4 in chunk 2 (addr 16).
+	want := []int64{0, 1, 4, 5, 16}
+	for e, wantAddr := range want {
+		if got := p.Addr(0, int64(e)); got != wantAddr {
+			t.Errorf("Addr(0, %d) = %d, want %d", e, got, wantAddr)
+		}
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	if (Hierarchy{}).Validate() == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	bad := Hierarchy{Levels: []Level{{CapacityElems: 0, Fanout: 2}}}
+	if bad.Validate() == nil {
+		t.Error("zero capacity accepted")
+	}
+	bad = Hierarchy{Levels: []Level{{CapacityElems: 8, Fanout: 0}}}
+	if bad.Validate() == nil {
+		t.Error("zero fanout accepted")
+	}
+	if paperHierarchy().Threads() != 4 {
+		t.Error("Threads() wrong")
+	}
+}
+
+func TestThreadBasePanics(t *testing.T) {
+	p, _ := NewPattern(paperHierarchy(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.ThreadBase(99)
+}

@@ -1,0 +1,266 @@
+// Package layout implements the paper's core contribution: the two-step
+// inter-node file layout optimization.
+//
+// Step I (array partitioning, §4.1) finds, for each disk-resident array, a
+// unimodular data transformation D such that in the transformed data space
+// every thread's elements fall on the thread's own set of parallel
+// hyperplanes: h_A·D·Q·E_u = 0 (Eq. 3) for each access matrix Q, with
+// conflicting references arbitrated by the Eq. 5 weights.
+//
+// Step II (storage-hierarchy-aware layout, §4.2) linearizes the partitioned
+// array with a thread-interleaved pattern built top-down from the cache
+// capacities of the target hierarchy (Algorithm 1).
+package layout
+
+import (
+	"fmt"
+	"strings"
+
+	"flopt/internal/linalg"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+)
+
+// Transform is the result of Step I for one array.
+type Transform struct {
+	Array *poly.Array
+	// D is the unimodular data transformation (a' = D·a), nil when the
+	// array could not be optimized (no nontrivial partitioning vector
+	// exists for even its heaviest access matrix).
+	D *linalg.Mat
+	// W is row V of D — the data-space hyperplane vector h_A·D expressed
+	// in original coordinates, normalized so that the primary reference
+	// group's a'_V increases with the parallel iterator.
+	W linalg.Vec
+	// V is the partitioned dimension in the transformed space (always 0:
+	// the optimizer partitions along the outermost transformed dimension).
+	V int
+	// Plan is the parallelization plan of the nest holding the primary
+	// (heaviest) satisfied reference group; its iteration blocks
+	// correspond 1:1 to the data blocks along dimension V.
+	Plan *parallel.Plan
+	// Satisfied lists the reference groups whose Eq. 3 constraint D
+	// satisfies, in decreasing weight order.
+	Satisfied []*poly.AccessGroup
+	// TotalWeight and SatisfiedWeight summarize how much of the array's
+	// dynamic access weight the transformation covers.
+	TotalWeight, SatisfiedWeight int64
+}
+
+// Optimized reports whether Step I found a usable transformation.
+func (t *Transform) Optimized() bool { return t.D != nil }
+
+// String summarizes the transform for compiler diagnostics.
+func (t *Transform) String() string {
+	if !t.Optimized() {
+		return fmt.Sprintf("%s: not optimized (no consistent partitioning)", t.Array.Name)
+	}
+	var names []string
+	for _, g := range t.Satisfied {
+		names = append(names, fmt.Sprintf("Q=%v(w=%d)", g.Q, g.Weight))
+	}
+	return fmt.Sprintf("%s: D=%v partition dim %d, satisfies %d/%d weight [%s]",
+		t.Array.Name, t.D, t.V, t.SatisfiedWeight, t.TotalWeight, strings.Join(names, ", "))
+}
+
+// ThreadOf returns the thread that owns data element idx under the Step I
+// partition: the element's hyperplane value w·idx falls into a data block
+// along dimension V, and data blocks are assigned round-robin like the
+// iteration blocks. It panics on an unoptimized transform.
+func (t *Transform) ThreadOf(idx linalg.Vec) int {
+	if !t.Optimized() {
+		panic("layout: ThreadOf on unoptimized transform")
+	}
+	lo := int64(0)
+	hi := int64(0)
+	for k, wk := range t.W {
+		span := wk * (t.Array.Dims[k] - 1)
+		if span < 0 {
+			lo += span
+		} else {
+			hi += span
+		}
+	}
+	hyCount := hi - lo + 1
+	x := int64(t.Plan.NumBlocks)
+	dbs := (hyCount + x - 1) / x
+	d := (t.W.Dot(idx) - lo) / dbs
+	return int(d % int64(t.Plan.Threads))
+}
+
+// SolveTransform runs Step I for one array: it gathers the array's access
+// groups, greedily selects the maximal-weight consistent subset (heaviest
+// first, per Eq. 5), solves the homogeneous system of Eq. 4 for the
+// partitioning vector w, and completes w to a unimodular transformation.
+// plans must contain the parallelization plan of every nest referencing
+// the array.
+func SolveTransform(p *poly.Program, a *poly.Array, plans map[*poly.LoopNest]*parallel.Plan) (*Transform, error) {
+	return solveTransform(p, a, plans, true)
+}
+
+// solveTransform implements SolveTransform; weighted=false disables the
+// Eq. 5 ordering (groups are considered in first-reference order), which
+// the ablation study uses to quantify the value of weighted conflict
+// resolution.
+func solveTransform(p *poly.Program, a *poly.Array, plans map[*poly.LoopNest]*parallel.Plan, weighted bool) (*Transform, error) {
+	groups := poly.AccessGroups(p, a)
+	if !weighted {
+		groups = poly.AccessGroupsInOrder(p, a)
+	}
+	t := &Transform{Array: a, V: 0}
+	for _, g := range groups {
+		t.TotalWeight += g.Weight
+	}
+	if len(groups) == 0 {
+		return t, nil // array never referenced; leave default layout
+	}
+
+	// Constraint columns for a group: M = Q·E_uᵀ per referencing nest. A
+	// candidate w must satisfy w·M = 0 (Eq. 3) for every selected group.
+	constraintCols := func(g *poly.AccessGroup) (*linalg.Mat, error) {
+		var m *linalg.Mat
+		for _, rn := range g.Refs {
+			plan := plans[rn.Nest]
+			if plan == nil {
+				return nil, fmt.Errorf("layout: no parallelization plan for a nest referencing %s", a.Name)
+			}
+			if rn.Nest.Depth() < 2 {
+				continue // single loop: E_u is empty, no constraint
+			}
+			eu := poly.DeleteRow(rn.Nest.Depth(), plan.U)
+			cols := rn.Ref.Q.Mul(eu.Transpose()) // m×(n-1)
+			if m == nil {
+				m = cols
+			} else {
+				m = m.HCat(cols)
+			}
+		}
+		if m == nil {
+			m = linalg.NewMat(a.Rank(), 0)
+		}
+		return m, nil
+	}
+
+	// primaryDir is Q·e_u of a group's first reference: w·primaryDir is
+	// the rate α at which a'_V moves per parallel-loop iteration. The
+	// primary group must have α ≠ 0 or the partition cannot separate
+	// threads.
+	primaryDir := func(g *poly.AccessGroup) linalg.Vec {
+		rn := g.Refs[0]
+		return rn.Ref.Q.Col(plans[rn.Nest].U)
+	}
+
+	var accepted *linalg.Mat
+	var primary *poly.AccessGroup
+	for _, g := range groups {
+		cols, err := constraintCols(g)
+		if err != nil {
+			return nil, err
+		}
+		cand := cols
+		if accepted != nil {
+			cand = accepted.HCat(cols)
+		}
+		var w linalg.Vec
+		if primary == nil {
+			w = pickW(linalg.LeftNullspace(cand), primaryDir(g))
+		} else {
+			w = pickW(linalg.LeftNullspace(cand), primaryDir(primary))
+		}
+		if w == nil {
+			continue // inconsistent with current selection; skip (Eq. 5 greedy)
+		}
+		accepted = cand
+		if primary == nil {
+			primary = g
+		}
+		t.Satisfied = append(t.Satisfied, g)
+		t.SatisfiedWeight += g.Weight
+	}
+	if primary == nil {
+		return t, nil // not optimizable
+	}
+
+	w := pickW(linalg.LeftNullspace(accepted), primaryDir(primary))
+	if w == nil {
+		// Cannot happen: every acceptance re-verified this condition.
+		return nil, fmt.Errorf("layout: internal error: lost partitioning vector for %s", a.Name)
+	}
+	// Normalize the sign so a'_V increases with the parallel iterator of
+	// the primary group, aligning data-block order with iteration-block
+	// order.
+	if w.Dot(primaryDir(primary)) < 0 {
+		w = w.Neg()
+	}
+	d, ok := linalg.CompleteToUnimodular(w, t.V)
+	if !ok {
+		return nil, fmt.Errorf("layout: cannot complete %v to a unimodular matrix for %s", w, a.Name)
+	}
+	t.D = d
+	t.W = w
+	t.Plan = plans[primary.Refs[0].Nest]
+	return t, nil
+}
+
+// pickW selects a partitioning vector from a nullspace basis: a vector w
+// with w·dir ≠ 0 (so the partition actually separates iteration blocks),
+// preferring small L1 norm. If no single basis vector qualifies, pairwise
+// sums and differences are tried. Returns nil when the basis is empty or
+// every candidate is orthogonal to dir.
+func pickW(basis []linalg.Vec, dir linalg.Vec) linalg.Vec {
+	var best linalg.Vec
+	var bestNorm int64
+	consider := func(w linalg.Vec) {
+		if w.IsZero() || w.Dot(dir) == 0 {
+			return
+		}
+		n := l1(w)
+		if best == nil || n < bestNorm {
+			best = linalg.Primitive(w)
+			bestNorm = n
+		}
+	}
+	for _, w := range basis {
+		consider(w)
+	}
+	if best != nil {
+		return best
+	}
+	for i := 0; i < len(basis); i++ {
+		for j := i + 1; j < len(basis); j++ {
+			sum := make(linalg.Vec, len(basis[i]))
+			diff := make(linalg.Vec, len(basis[i]))
+			for k := range sum {
+				sum[k] = basis[i][k] + basis[j][k]
+				diff[k] = basis[i][k] - basis[j][k]
+			}
+			consider(sum)
+			consider(diff)
+		}
+	}
+	return best
+}
+
+func l1(v linalg.Vec) int64 {
+	var n int64
+	for _, x := range v {
+		if x < 0 {
+			n -= x
+		} else {
+			n += x
+		}
+	}
+	return n
+}
+
+// TransformedRef returns the reference r rewritten into the transformed
+// data space: Q' = D·Q, offset' = D·q. Used by the compiler driver to emit
+// the updated array index functions.
+func TransformedRef(r *poly.Reference, d *linalg.Mat) *poly.Reference {
+	return &poly.Reference{
+		Array:  r.Array,
+		Q:      d.Mul(r.Q),
+		Offset: d.MulVec(r.Offset),
+		Write:  r.Write,
+	}
+}

@@ -1,0 +1,244 @@
+package layout
+
+import (
+	"testing"
+
+	"flopt/internal/lang"
+	"flopt/internal/linalg"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+)
+
+// parseProg compiles mini-language source and builds plans for all nests.
+func parseProg(t testing.TB, src string, threads int) (*poly.Program, map[*poly.LoopNest]*parallel.Plan) {
+	t.Helper()
+	p, err := lang.Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make(map[*poly.LoopNest]*parallel.Plan)
+	for _, n := range p.Nests {
+		plan, err := parallel.NewPlan(n, threads, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[n] = plan
+	}
+	return p, plans
+}
+
+func solve(t testing.TB, src, arr string, threads int) *Transform {
+	t.Helper()
+	p, plans := parseProg(t, src, threads)
+	tr, err := SolveTransform(p, p.Array(arr), plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTransformRowAccess(t *testing.T) {
+	tr := solve(t, `
+array A[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read A[i][j]; } }
+`, "A", 4)
+	if !tr.Optimized() {
+		t.Fatal("row access should be optimizable")
+	}
+	if !tr.W.Equal(linalg.Vec{1, 0}) {
+		t.Errorf("w = %v, want (1, 0)", tr.W)
+	}
+	if !tr.D.IsUnimodular() {
+		t.Error("D not unimodular")
+	}
+}
+
+func TestTransformTransposedAccess(t *testing.T) {
+	tr := solve(t, `
+array B[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read B[j][i]; } }
+`, "B", 4)
+	if !tr.Optimized() {
+		t.Fatal("transposed access should be optimizable")
+	}
+	if !tr.W.Equal(linalg.Vec{0, 1}) {
+		t.Errorf("w = %v, want (0, 1)", tr.W)
+	}
+}
+
+func TestTransformDiagonalAccess(t *testing.T) {
+	tr := solve(t, `
+array A[64][64];
+parallel(i) for i = 0 to 31 { for j = 0 to 31 { read A[i+j][j]; } }
+`, "A", 4)
+	if !tr.Optimized() {
+		t.Fatal("diagonal access should be optimizable")
+	}
+	// Constraint: w ⊥ Q·e_j = (1, 1) ⇒ w ∝ (1, -1); α = w·Q·e_i = w·(1,0) = 1 > 0.
+	if !tr.W.Equal(linalg.Vec{1, -1}) {
+		t.Errorf("w = %v, want (1, -1)", tr.W)
+	}
+	if !tr.D.IsUnimodular() || !tr.D.Row(0).Equal(tr.W) {
+		t.Errorf("D = %v does not carry w in row 0", tr.D)
+	}
+}
+
+func TestTransformUnoptimizableFullRank(t *testing.T) {
+	// Y[k][j] in an (i,j,k) nest parallel on i: both free iterators map
+	// onto the array, leaving no nonzero w.
+	tr := solve(t, `
+array Y[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { for k = 0 to 63 { read Y[k][j]; } } }
+`, "Y", 4)
+	if tr.Optimized() {
+		t.Fatalf("Y should not be optimizable, got %v", tr)
+	}
+	if tr.SatisfiedWeight != 0 || tr.TotalWeight == 0 {
+		t.Errorf("weights = %d/%d", tr.SatisfiedWeight, tr.TotalWeight)
+	}
+}
+
+func TestTransformMatmul(t *testing.T) {
+	src := `
+array W[64][64];
+array X[64][64];
+array Y[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { for k = 0 to 63 {
+    write W[i][j]; read X[i][k]; read Y[k][j];
+} } }
+`
+	for name, wantOpt := range map[string]bool{"W": true, "X": true, "Y": false} {
+		tr := solve(t, src, name, 4)
+		if tr.Optimized() != wantOpt {
+			t.Errorf("%s optimized = %v, want %v", name, tr.Optimized(), wantOpt)
+		}
+		if wantOpt && !tr.W.Equal(linalg.Vec{1, 0}) {
+			t.Errorf("%s: w = %v, want (1, 0)", name, tr.W)
+		}
+	}
+}
+
+func TestTransformWeightedConflict(t *testing.T) {
+	// Two conflicting access patterns to A; the 64×64 nest outweighs the
+	// 8×8 nest, so the row-style partition must win.
+	src := `
+array A[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read A[i][j]; } }
+parallel(i) for i = 0 to 7 { for j = 0 to 7 { read A[j][i]; } }
+`
+	tr := solve(t, src, "A", 4)
+	if !tr.Optimized() {
+		t.Fatal("should be optimizable")
+	}
+	if !tr.W.Equal(linalg.Vec{1, 0}) {
+		t.Errorf("w = %v, want (1, 0) (heavier group wins)", tr.W)
+	}
+	if len(tr.Satisfied) != 1 {
+		t.Errorf("satisfied groups = %d, want 1", len(tr.Satisfied))
+	}
+	if tr.SatisfiedWeight >= tr.TotalWeight {
+		t.Error("conflicting group should remain unsatisfied")
+	}
+}
+
+func TestTransformCompatibleGroups(t *testing.T) {
+	// A[i][j] and A[i][j+1] share Q (one group); A[i][2*j] has a different
+	// Q but a compatible constraint ⇒ both groups satisfiable by w = (1, 0).
+	src := `
+array A[64][64];
+parallel(i) for i = 0 to 31 { for j = 0 to 31 {
+    read A[i][j]; write A[i][j+1]; read A[i][2*j];
+} }
+`
+	tr := solve(t, src, "A", 4)
+	if !tr.Optimized() {
+		t.Fatal("should be optimizable")
+	}
+	if tr.SatisfiedWeight != tr.TotalWeight {
+		t.Errorf("all groups should be satisfied: %d/%d", tr.SatisfiedWeight, tr.TotalWeight)
+	}
+	if len(tr.Satisfied) != 2 {
+		t.Errorf("groups = %d, want 2", len(tr.Satisfied))
+	}
+}
+
+func TestTransformSignNormalization(t *testing.T) {
+	// A[-i+63][j]: α for w=(1,0) would be -1, so w must flip to keep
+	// data-block order aligned with iteration-block order.
+	tr := solve(t, `
+array A[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read A[-i+63][j]; } }
+`, "A", 4)
+	if !tr.Optimized() {
+		t.Fatal("should be optimizable")
+	}
+	q := tr.Satisfied[0].Refs[0].Ref.Q
+	if tr.W.Dot(q.Col(0)) <= 0 {
+		t.Errorf("α = %d, want > 0 after normalization", tr.W.Dot(q.Col(0)))
+	}
+}
+
+func TestTransform1D(t *testing.T) {
+	tr := solve(t, `
+array A[256];
+parallel(i) for i = 0 to 255 { read A[i]; }
+`, "A", 4)
+	if !tr.Optimized() || !tr.W.Equal(linalg.Vec{1}) {
+		t.Fatalf("1-D parallel access should partition trivially: %v", tr)
+	}
+
+	// A 1-D array indexed only by a non-parallel iterator cannot be
+	// partitioned.
+	tr = solve(t, `
+array A[64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read A[j]; } }
+`, "A", 4)
+	if tr.Optimized() {
+		t.Errorf("A[j] under parallel(i) should not be optimizable: %v", tr)
+	}
+}
+
+func TestTransformUnreferencedArray(t *testing.T) {
+	src := `
+array A[16];
+array Ghost[16];
+for i = 0 to 15 { read A[i]; }
+`
+	tr := solve(t, src, "Ghost", 2)
+	if tr.Optimized() {
+		t.Error("unreferenced array should keep default layout")
+	}
+}
+
+func TestTransformedRef(t *testing.T) {
+	p, _ := parseProg(t, `
+array A[8][8];
+parallel(i) for i = 0 to 7 { for j = 0 to 7 { read A[j][i]; } }
+`, 2)
+	d := linalg.MatFromRows([][]int64{{0, 1}, {1, 0}})
+	r2 := TransformedRef(p.Nests[0].Refs[0], d)
+	want := linalg.MatFromRows([][]int64{{1, 0}, {0, 1}})
+	if !r2.Q.Equal(want) {
+		t.Errorf("Q' = %v, want %v", r2.Q, want)
+	}
+	if !r2.Offset.Equal(linalg.Vec{0, 0}) {
+		t.Errorf("offset' = %v", r2.Offset)
+	}
+}
+
+func TestTransformString(t *testing.T) {
+	tr := solve(t, `
+array A[16][16];
+parallel(i) for i = 0 to 15 { for j = 0 to 15 { read A[i][j]; } }
+`, "A", 2)
+	if s := tr.String(); s == "" {
+		t.Error("empty description")
+	}
+	tr = solve(t, `
+array Y[16][16];
+parallel(i) for i = 0 to 15 { for j = 0 to 15 { for k = 0 to 15 { read Y[k][j]; } } }
+`, "Y", 2)
+	if s := tr.String(); s == "" {
+		t.Error("empty description for unoptimized transform")
+	}
+}

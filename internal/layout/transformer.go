@@ -1,0 +1,173 @@
+package layout
+
+import (
+	"fmt"
+
+	"flopt/internal/linalg"
+)
+
+// This file implements the two extensions the paper sketches in its
+// Discussion (§4.3):
+//
+//  1. Layout transformers. The optimized file layout is private to one
+//     compiled binary; to interoperate with other applications the input
+//     arrays can be converted from a canonical layout at program start and
+//     the outputs converted back at program end. RemapPlan computes that
+//     conversion and its estimated I/O cost.
+//
+//  2. Template hierarchies. Step I is independent of cache capacities, so
+//     a program can be compiled once per hierarchy *shape* (the fanout
+//     vector) and instantiated cheaply for any concrete capacities.
+//     Template captures exactly the capacity-independent part.
+
+// RemapPlan describes the one-time conversion of an array between two
+// layouts (e.g. canonical row-major on disk ↔ the optimized inter-node
+// layout), as performed by the import/export passes of §4.3.
+type RemapPlan struct {
+	Array string
+	From  Layout
+	To    Layout
+	// Moves is the number of elements to move (the array size).
+	Moves int64
+	// SrcBlocks and DstBlocks are the distinct source blocks read and
+	// destination blocks written at the given block granularity — the
+	// I/O cost of the conversion pass.
+	SrcBlocks, DstBlocks int64
+}
+
+// NewRemapPlan analyzes the conversion of array a from one layout to
+// another with the given block size. Both layouts must belong to the same
+// array.
+func NewRemapPlan(from, to Layout, dims []int64, name string, blockElems int64) (*RemapPlan, error) {
+	if blockElems < 1 {
+		return nil, fmt.Errorf("layout: block size must be ≥ 1")
+	}
+	plan := &RemapPlan{Array: name, From: from, To: to}
+	srcSeen := map[int64]struct{}{}
+	dstSeen := map[int64]struct{}{}
+	idx := make(linalg.Vec, len(dims))
+	forEachIndex(dims, idx, func(lin int64) {
+		plan.Moves++
+		srcSeen[from.Offset(idx)/blockElems] = struct{}{}
+		dstSeen[to.Offset(idx)/blockElems] = struct{}{}
+	})
+	plan.SrcBlocks = int64(len(srcSeen))
+	plan.DstBlocks = int64(len(dstSeen))
+	return plan, nil
+}
+
+// Apply converts an element-indexed buffer from the source to the
+// destination layout: dst[to.Offset(i)] = src[from.Offset(i)] for every
+// index i. src must have at least From.SizeElems() entries; the returned
+// slice has To.SizeElems() entries (holes keep the zero value).
+func (rp *RemapPlan) Apply(src []float64, dims []int64) ([]float64, error) {
+	if int64(len(src)) < rp.From.SizeElems() {
+		return nil, fmt.Errorf("layout: source buffer has %d elements, layout needs %d",
+			len(src), rp.From.SizeElems())
+	}
+	dst := make([]float64, rp.To.SizeElems())
+	idx := make(linalg.Vec, len(dims))
+	forEachIndex(dims, idx, func(lin int64) {
+		dst[rp.To.Offset(idx)] = src[rp.From.Offset(idx)]
+	})
+	return dst, nil
+}
+
+// Template is the capacity-independent result of Step I for a whole
+// program, specialized to one hierarchy shape (the fanout vector). All
+// hierarchies with the same fanouts share the template (§4.3: "a single
+// compilation for all architectures that belong to the same template");
+// Instantiate builds the concrete layouts for given capacities without
+// re-running the transform solver.
+type Template struct {
+	program *programShape
+	// Fanouts is the hierarchy shape this template was compiled for.
+	Fanouts []int
+	// Transforms are the Step I results, keyed by array name.
+	Transforms map[string]*Transform
+	blockElems int64
+	opts       Options
+}
+
+// programShape retains what Instantiate needs from the program.
+type programShape struct {
+	arrays []*arrayShape
+}
+
+type arrayShape struct {
+	name string
+	size int64
+}
+
+// NewTemplate compiles the program once for a hierarchy shape. The
+// capacities in opts.Hierarchy are used only to seed Step I's plans (which
+// depend on thread counts, not capacities), so any concrete member of the
+// template family works as the seed.
+func NewTemplate(res *Result, opts Options) *Template {
+	t := &Template{
+		Transforms: res.Transforms,
+		blockElems: opts.BlockElems,
+		opts:       opts,
+		program:    &programShape{},
+	}
+	for _, l := range opts.Hierarchy.Levels {
+		t.Fanouts = append(t.Fanouts, l.Fanout)
+	}
+	for _, a := range res.Program.Arrays {
+		t.program.arrays = append(t.program.arrays, &arrayShape{name: a.Name, size: a.Size()})
+	}
+	return t
+}
+
+// Matches reports whether a concrete hierarchy belongs to this template's
+// family (same level count and fanouts).
+func (t *Template) Matches(h Hierarchy) bool {
+	if len(h.Levels) != len(t.Fanouts) {
+		return false
+	}
+	for i, l := range h.Levels {
+		if l.Fanout != t.Fanouts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Instantiate builds the concrete layouts for a hierarchy of the
+// template's shape, reusing the Step I transforms and re-deriving only the
+// (cheap) Step II patterns. It fails if the hierarchy has a different
+// shape.
+func (t *Template) Instantiate(h Hierarchy) (map[string]Layout, error) {
+	if !t.Matches(h) {
+		return nil, fmt.Errorf("layout: hierarchy shape %v does not match template %v", h, t.Fanouts)
+	}
+	threads := h.Threads()
+	platform, err := NewPattern(h, t.blockElems)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Layout, len(t.program.arrays))
+	for _, a := range t.program.arrays {
+		tr := t.Transforms[a.name]
+		if tr == nil || !tr.Optimized() {
+			// Reconstruct the default layout from the transform record.
+			if tr != nil {
+				out[a.name] = RowMajor(tr.Array)
+			}
+			continue
+		}
+		perThread := (a.size + int64(threads) - 1) / int64(threads)
+		chunk := chunkCapFor(perThread, platform.ChunkElems, t.blockElems)
+		maxChunks := (perThread + chunk - 1) / chunk
+		apat, err := NewPatternFor(h, t.blockElems, chunk, maxChunks)
+		if err != nil {
+			return nil, err
+		}
+		ol, err := NewOptimizedLayout(tr, apat)
+		if err != nil {
+			return nil, err
+		}
+		out[a.name] = ol
+	}
+	return out, nil
+}

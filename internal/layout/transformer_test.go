@@ -1,0 +1,178 @@
+package layout
+
+import (
+	"testing"
+
+	"flopt/internal/linalg"
+	"flopt/internal/poly"
+)
+
+func TestRemapPlanRowToCol(t *testing.T) {
+	a := &poly.Array{Name: "A", Dims: []int64{8, 8}}
+	plan, err := NewRemapPlan(RowMajor(a), ColMajor(a), a.Dims, "A", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Moves != 64 {
+		t.Errorf("moves = %d", plan.Moves)
+	}
+	// 64 elements over 4-element blocks: 16 blocks touched on each side.
+	if plan.SrcBlocks != 16 || plan.DstBlocks != 16 {
+		t.Errorf("blocks = %d/%d", plan.SrcBlocks, plan.DstBlocks)
+	}
+}
+
+func TestRemapPlanApply(t *testing.T) {
+	a := &poly.Array{Name: "A", Dims: []int64{4, 4}}
+	rm, cm := RowMajor(a), ColMajor(a)
+	plan, err := NewRemapPlan(rm, cm, a.Dims, "A", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]float64, 16)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	dst, err := plan.Apply(src, a.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A[1][2] is src[6] and must land at the col-major offset 2·4+1 = 9.
+	if dst[9] != 6 {
+		t.Errorf("dst[9] = %f, want 6", dst[9])
+	}
+	// Round trip restores the original.
+	back, err := NewRemapPlan(cm, rm, a.Dims, "A", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := back.Apply(dst, a.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if orig[i] != src[i] {
+			t.Fatalf("round trip broke at %d: %f != %f", i, orig[i], src[i])
+		}
+	}
+}
+
+func TestRemapPlanCanonicalToOptimized(t *testing.T) {
+	// The §4.3 import pass: canonical row-major on disk → inter-node.
+	ol := optimizedFor(t, transposeSrc, "B")
+	a := ol.Array
+	plan, err := NewRemapPlan(RowMajor(a), ol, a.Dims, a.Name, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Moves != a.Size() {
+		t.Errorf("moves = %d, want %d", plan.Moves, a.Size())
+	}
+	src := make([]float64, a.Size())
+	for i := range src {
+		src[i] = float64(i + 1)
+	}
+	dst, err := plan.Apply(src, a.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every element must be findable at its optimized offset.
+	idx := make(linalg.Vec, a.Rank())
+	forEachIndex(a.Dims, idx, func(lin int64) {
+		want := src[RowMajor(a).Offset(idx)]
+		if got := dst[ol.Offset(idx)]; got != want {
+			t.Fatalf("element %v: got %f want %f", idx, got, want)
+		}
+	})
+}
+
+func TestRemapPlanErrors(t *testing.T) {
+	a := &poly.Array{Name: "A", Dims: []int64{4, 4}}
+	if _, err := NewRemapPlan(RowMajor(a), ColMajor(a), a.Dims, "A", 0); err == nil {
+		t.Error("zero block size accepted")
+	}
+	plan, _ := NewRemapPlan(RowMajor(a), ColMajor(a), a.Dims, "A", 2)
+	if _, err := plan.Apply(make([]float64, 3), a.Dims); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestTemplateInstantiate(t *testing.T) {
+	p, _ := parseProg(t, `
+array W[64][64];
+array X[64][64];
+array Y[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { for k = 0 to 63 {
+    write W[i][j]; read X[i][k]; read Y[k][j];
+} } }
+`, 4)
+	seed := smallHierarchy()
+	opts := Options{Hierarchy: seed, BlockElems: 4}
+	res, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := NewTemplate(res, opts)
+	if len(tmpl.Fanouts) != 2 || tmpl.Fanouts[0] != 2 || tmpl.Fanouts[1] != 2 {
+		t.Fatalf("fanouts = %v", tmpl.Fanouts)
+	}
+
+	// Same shape, four times the capacities: instantiation must succeed
+	// and produce bijective layouts without re-running Step I.
+	big := Hierarchy{Levels: []Level{
+		{Name: "SC1", CapacityElems: 32, Fanout: 2},
+		{Name: "SC2", CapacityElems: 256, Fanout: 2},
+	}}
+	if !tmpl.Matches(big) {
+		t.Fatal("same-shape hierarchy rejected")
+	}
+	layouts, err := tmpl.Instantiate(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(layouts) != 3 {
+		t.Fatalf("layouts = %d", len(layouts))
+	}
+	if layouts["Y"].Name() != "row-major" {
+		t.Error("unoptimizable array should stay row-major")
+	}
+	ol, ok := layouts["W"].(*OptimizedLayout)
+	if !ok {
+		t.Fatal("W should get an inter-node layout")
+	}
+	checkBijective(t, ol)
+
+	// A different shape must be rejected.
+	other := Hierarchy{Levels: []Level{{Name: "SC1", CapacityElems: 8, Fanout: 4}}}
+	if tmpl.Matches(other) {
+		t.Error("different shape matched")
+	}
+	if _, err := tmpl.Instantiate(other); err == nil {
+		t.Error("different shape instantiated")
+	}
+}
+
+// Instantiating the template at the seed capacities must agree exactly
+// with the direct optimization.
+func TestTemplateConsistentWithDirect(t *testing.T) {
+	p, _ := parseProg(t, transposeSrc, 4)
+	opts := Options{Hierarchy: smallHierarchy(), BlockElems: 4}
+	res, err := Optimize(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := NewTemplate(res, opts)
+	layouts, err := tmpl.Instantiate(smallHierarchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := res.Layouts["B"]
+	viaTmpl := layouts["B"]
+	a := p.Array("B")
+	idx := make(linalg.Vec, a.Rank())
+	forEachIndex(a.Dims, idx, func(lin int64) {
+		if direct.Offset(idx) != viaTmpl.Offset(idx) {
+			t.Fatalf("offset mismatch at %v: %d vs %d", idx, direct.Offset(idx), viaTmpl.Offset(idx))
+		}
+	})
+}

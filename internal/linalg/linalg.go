@@ -1,0 +1,402 @@
+// Package linalg provides exact integer and rational linear algebra for the
+// polyhedral analyses used by the file-layout optimizer.
+//
+// All matrices are small (array and loop dimensionalities are rarely above
+// four), so the package favours clarity and exactness over asymptotic
+// performance: arithmetic is done in int64 with gcd-based reduction, and
+// eliminations are fraction-free (Bareiss) so intermediate values stay
+// integral.
+package linalg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vec is an integer vector.
+type Vec []int64
+
+// Mat is a dense integer matrix in row-major order.
+type Mat struct {
+	R, C int
+	a    []int64
+}
+
+// NewMat returns an R×C zero matrix.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %d×%d", r, c))
+	}
+	return &Mat{R: r, C: c, a: make([]int64, r*c)}
+}
+
+// MatFromRows builds a matrix from row slices. All rows must have equal
+// length; an empty row set yields a 0×0 matrix.
+func MatFromRows(rows [][]int64) *Mat {
+	if len(rows) == 0 {
+		return NewMat(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMat(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d entries, want %d", i, len(row), c))
+		}
+		copy(m.a[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Mat {
+	m := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) int64 { return m.a[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v int64) { m.a[i*m.C+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	n := NewMat(m.R, m.C)
+	copy(n.a, m.a)
+	return n
+}
+
+// Row returns a copy of row i.
+func (m *Mat) Row(i int) Vec {
+	r := make(Vec, m.C)
+	copy(r, m.a[i*m.C:(i+1)*m.C])
+	return r
+}
+
+// Col returns a copy of column j.
+func (m *Mat) Col(j int) Vec {
+	c := make(Vec, m.R)
+	for i := 0; i < m.R; i++ {
+		c[i] = m.At(i, j)
+	}
+	return c
+}
+
+// SetRow overwrites row i with v.
+func (m *Mat) SetRow(i int, v Vec) {
+	if len(v) != m.C {
+		panic("linalg: SetRow length mismatch")
+	}
+	copy(m.a[i*m.C:(i+1)*m.C], v)
+}
+
+// Equal reports whether m and n have the same shape and entries.
+func (m *Mat) Equal(n *Mat) bool {
+	if m.R != n.R || m.C != n.C {
+		return false
+	}
+	for i := range m.a {
+		if m.a[i] != n.a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every entry of m is zero.
+func (m *Mat) IsZero() bool {
+	for _, v := range m.a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Mul returns the matrix product m·n.
+func (m *Mat) Mul(n *Mat) *Mat {
+	if m.C != n.R {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %d×%d · %d×%d", m.R, m.C, n.R, n.C))
+	}
+	p := NewMat(m.R, n.C)
+	for i := 0; i < m.R; i++ {
+		for k := 0; k < m.C; k++ {
+			mik := m.At(i, k)
+			if mik == 0 {
+				continue
+			}
+			for j := 0; j < n.C; j++ {
+				p.a[i*p.C+j] += mik * n.At(k, j)
+			}
+		}
+	}
+	return p
+}
+
+// MulVec returns the matrix-vector product m·v.
+func (m *Mat) MulVec(v Vec) Vec {
+	if m.C != len(v) {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch %d×%d · %d", m.R, m.C, len(v)))
+	}
+	r := make(Vec, m.R)
+	for i := 0; i < m.R; i++ {
+		var s int64
+		for j := 0; j < m.C; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		r[i] = s
+	}
+	return r
+}
+
+// VecMul returns the vector-matrix product v·m (v treated as a row vector).
+func VecMul(v Vec, m *Mat) Vec {
+	if len(v) != m.R {
+		panic(fmt.Sprintf("linalg: VecMul shape mismatch %d · %d×%d", len(v), m.R, m.C))
+	}
+	r := make(Vec, m.C)
+	for j := 0; j < m.C; j++ {
+		var s int64
+		for i := 0; i < m.R; i++ {
+			s += v[i] * m.At(i, j)
+		}
+		r[j] = s
+	}
+	return r
+}
+
+// Transpose returns mᵀ.
+func (m *Mat) Transpose() *Mat {
+	t := NewMat(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// HCat returns the horizontal concatenation [m | n].
+func (m *Mat) HCat(n *Mat) *Mat {
+	if m.R != n.R {
+		panic("linalg: HCat row mismatch")
+	}
+	p := NewMat(m.R, m.C+n.C)
+	for i := 0; i < m.R; i++ {
+		copy(p.a[i*p.C:], m.a[i*m.C:(i+1)*m.C])
+		copy(p.a[i*p.C+m.C:], n.a[i*n.C:(i+1)*n.C])
+	}
+	return p
+}
+
+// String renders the matrix in a bracketed human-readable form.
+func (m *Mat) String() string {
+	var b strings.Builder
+	b.WriteString("[")
+	for i := 0; i < m.R; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.C; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%d", m.At(i, j))
+		}
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// String renders the vector as (v1, v2, …).
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteString("(")
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Equal reports element-wise equality of equal-length vectors.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every component of v is zero.
+func (v Vec) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product of v and w.
+func (v Vec) Dot(w Vec) int64 {
+	if len(v) != len(w) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s int64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Neg returns -v.
+func (v Vec) Neg() Vec {
+	w := make(Vec, len(v))
+	for i, x := range v {
+		w[i] = -x
+	}
+	return w
+}
+
+// GCD returns the non-negative greatest common divisor of a and b, with
+// GCD(0, 0) = 0.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// ExtGCD returns (g, x, y) such that a·x + b·y = g = gcd(a, b), g ≥ 0 unless
+// both inputs are zero.
+func ExtGCD(a, b int64) (g, x, y int64) {
+	if b == 0 {
+		switch {
+		case a > 0:
+			return a, 1, 0
+		case a < 0:
+			return -a, -1, 0
+		default:
+			return 0, 0, 0
+		}
+	}
+	g, x1, y1 := ExtGCD(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+// ContentOf returns the gcd of all components of v (0 for the zero vector).
+func ContentOf(v Vec) int64 {
+	var g int64
+	for _, x := range v {
+		g = GCD(g, x)
+	}
+	return g
+}
+
+// Primitive divides v by the gcd of its components, producing a primitive
+// vector pointing in the same direction. The zero vector is returned
+// unchanged. The sign is normalized so the first nonzero component is
+// positive.
+func Primitive(v Vec) Vec {
+	g := ContentOf(v)
+	w := v.Clone()
+	if g == 0 {
+		return w
+	}
+	for i := range w {
+		w[i] /= g
+	}
+	for _, x := range w {
+		if x != 0 {
+			if x < 0 {
+				for i := range w {
+					w[i] = -w[i]
+				}
+			}
+			break
+		}
+	}
+	return w
+}
+
+// Det returns the determinant of a square matrix using fraction-free
+// Bareiss elimination.
+func (m *Mat) Det() int64 {
+	if m.R != m.C {
+		panic("linalg: Det on non-square matrix")
+	}
+	n := m.R
+	if n == 0 {
+		return 1
+	}
+	w := m.Clone()
+	sign := int64(1)
+	var prev int64 = 1
+	for k := 0; k < n-1; k++ {
+		if w.At(k, k) == 0 {
+			swapped := false
+			for i := k + 1; i < n; i++ {
+				if w.At(i, k) != 0 {
+					w.swapRows(i, k)
+					sign = -sign
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return 0
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				v := w.At(i, j)*w.At(k, k) - w.At(i, k)*w.At(k, j)
+				w.Set(i, j, v/prev)
+			}
+			w.Set(i, k, 0)
+		}
+		prev = w.At(k, k)
+	}
+	return sign * w.At(n-1, n-1)
+}
+
+func (m *Mat) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	for c := 0; c < m.C; c++ {
+		m.a[i*m.C+c], m.a[j*m.C+c] = m.a[j*m.C+c], m.a[i*m.C+c]
+	}
+}
+
+// IsUnimodular reports whether m is square with determinant ±1.
+func (m *Mat) IsUnimodular() bool {
+	if m.R != m.C {
+		return false
+	}
+	d := m.Det()
+	return d == 1 || d == -1
+}

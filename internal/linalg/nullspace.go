@@ -1,0 +1,98 @@
+package linalg
+
+// RightNullspace returns an integer basis of the right nullspace
+// {x : A·x = 0} of A. Each basis vector is primitive (content 1, first
+// nonzero component positive). The basis has dim = C - rank(A) vectors;
+// an empty slice means the nullspace is trivial.
+func RightNullspace(a *Mat) []Vec {
+	rref, pivots := ratRREF(a)
+	isPivot := make([]bool, a.C)
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	var basis []Vec
+	for free := 0; free < a.C; free++ {
+		if isPivot[free] {
+			continue
+		}
+		// Solve with x[free] = 1 and all other free variables 0. Each pivot
+		// variable is determined by its RREF row.
+		x := make([]Rat, a.C)
+		for i := range x {
+			x[i] = RI(0)
+		}
+		x[free] = RI(1)
+		for row, p := range pivots {
+			x[p] = rref.At(row, free).Neg()
+		}
+		basis = append(basis, ratVecToPrimitive(x))
+	}
+	return basis
+}
+
+// LeftNullspace returns an integer basis of the left nullspace
+// {w : w·A = 0} of A (i.e. the right nullspace of Aᵀ).
+func LeftNullspace(a *Mat) []Vec {
+	return RightNullspace(a.Transpose())
+}
+
+// ratRREF reduces a to reduced row-echelon form over the rationals and
+// returns the RREF together with the pivot column of each nonzero row.
+func ratRREF(a *Mat) (*RatMat, []int) {
+	w := RatFromMat(a)
+	var pivots []int
+	row := 0
+	for col := 0; col < w.C && row < w.R; col++ {
+		piv := -1
+		for i := row; i < w.R; i++ {
+			if !w.At(i, col).IsZero() {
+				piv = i
+				break
+			}
+		}
+		if piv < 0 {
+			continue
+		}
+		w.swapRows(piv, row)
+		p := w.At(row, col)
+		for j := 0; j < w.C; j++ {
+			w.Set(row, j, w.At(row, j).Div(p))
+		}
+		for i := 0; i < w.R; i++ {
+			if i == row || w.At(i, col).IsZero() {
+				continue
+			}
+			f := w.At(i, col)
+			for j := 0; j < w.C; j++ {
+				w.Set(i, j, w.At(i, j).Sub(f.Mul(w.At(row, j))))
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return w, pivots
+}
+
+// ratVecToPrimitive clears denominators of a rational vector and reduces the
+// result to a primitive integer vector.
+func ratVecToPrimitive(x []Rat) Vec {
+	lcm := int64(1)
+	for _, v := range x {
+		if v.IsZero() {
+			continue
+		}
+		g := GCD(lcm, v.D)
+		lcm = lcm / g * v.D
+	}
+	out := make(Vec, len(x))
+	for i, v := range x {
+		out[i] = v.N * (lcm / v.D)
+	}
+	return Primitive(out)
+}
+
+// Rank returns the rank of a over the rationals.
+func Rank(a *Mat) int {
+	_, pivots := ratRREF(a)
+	return len(pivots)
+}

@@ -1,0 +1,124 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRightNullspaceSimple(t *testing.T) {
+	// A = [1 1] has nullspace spanned by (1, -1).
+	a := MatFromRows([][]int64{{1, 1}})
+	ns := RightNullspace(a)
+	if len(ns) != 1 {
+		t.Fatalf("nullspace dim = %d, want 1", len(ns))
+	}
+	if !a.MulVec(ns[0]).IsZero() {
+		t.Errorf("A·x = %v, want 0", a.MulVec(ns[0]))
+	}
+}
+
+func TestRightNullspaceFullRank(t *testing.T) {
+	if ns := RightNullspace(Identity(3)); len(ns) != 0 {
+		t.Errorf("identity has nontrivial nullspace: %v", ns)
+	}
+}
+
+func TestRightNullspaceZeroMatrix(t *testing.T) {
+	ns := RightNullspace(NewMat(2, 3))
+	if len(ns) != 3 {
+		t.Fatalf("nullspace dim = %d, want 3", len(ns))
+	}
+}
+
+func TestLeftNullspace(t *testing.T) {
+	// Rows (1,2,3) and (2,4,6) are dependent: left nullspace spanned by (2,-1).
+	a := MatFromRows([][]int64{{1, 2, 3}, {2, 4, 6}})
+	ns := LeftNullspace(a)
+	if len(ns) != 1 {
+		t.Fatalf("left nullspace dim = %d, want 1", len(ns))
+	}
+	if !VecMul(ns[0], a).IsZero() {
+		t.Errorf("w·A = %v, want 0", VecMul(ns[0], a))
+	}
+}
+
+func TestNullspaceVectorsArePrimitive(t *testing.T) {
+	a := MatFromRows([][]int64{{2, 4, 8}})
+	for _, v := range RightNullspace(a) {
+		if ContentOf(v) != 1 {
+			t.Errorf("basis vector %v is not primitive", v)
+		}
+	}
+}
+
+func TestNullspaceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		r, c := 1+rng.Intn(4), 1+rng.Intn(5)
+		a := NewMat(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, int64(rng.Intn(9)-4))
+			}
+		}
+		ns := RightNullspace(a)
+		if len(ns) != c-Rank(a) {
+			t.Fatalf("trial %d: dim(null) = %d, want %d for %v", trial, len(ns), c-Rank(a), a)
+		}
+		for _, v := range ns {
+			if !a.MulVec(v).IsZero() {
+				t.Fatalf("trial %d: A·x ≠ 0 for A=%v x=%v", trial, a, v)
+			}
+			if v.IsZero() {
+				t.Fatalf("trial %d: zero basis vector", trial)
+			}
+		}
+		// Basis vectors must be linearly independent: stack them and check rank.
+		if len(ns) > 1 {
+			b := NewMat(len(ns), c)
+			for i, v := range ns {
+				b.SetRow(i, v)
+			}
+			if Rank(b) != len(ns) {
+				t.Fatalf("trial %d: dependent basis %v", trial, ns)
+			}
+		}
+	}
+}
+
+func TestRatArithmetic(t *testing.T) {
+	a, b := R(1, 2), R(1, 3)
+	if got := a.Add(b); got != R(5, 6) {
+		t.Errorf("1/2 + 1/3 = %v", got)
+	}
+	if got := a.Sub(b); got != R(1, 6) {
+		t.Errorf("1/2 - 1/3 = %v", got)
+	}
+	if got := a.Mul(b); got != R(1, 6) {
+		t.Errorf("1/2 · 1/3 = %v", got)
+	}
+	if got := a.Div(b); got != R(3, 2) {
+		t.Errorf("(1/2)/(1/3) = %v", got)
+	}
+	if R(-2, -4) != R(1, 2) {
+		t.Error("sign normalization failed")
+	}
+	if R(2, 4).String() != "1/2" || RI(3).String() != "3" {
+		t.Error("Rat.String wrong")
+	}
+	if R(1, 2).Cmp(R(2, 3)) != -1 || R(1, 2).Cmp(R(1, 2)) != 0 || R(3, 4).Cmp(R(1, 2)) != 1 {
+		t.Error("Cmp wrong")
+	}
+	if !RI(4).IsInt() || R(1, 2).IsInt() {
+		t.Error("IsInt wrong")
+	}
+}
+
+func TestRatZeroDenominatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero denominator")
+		}
+	}()
+	R(1, 0)
+}

@@ -1,0 +1,170 @@
+package linalg
+
+import "fmt"
+
+// Rat is an exact rational number with int64 numerator and denominator.
+// The denominator is kept positive and the fraction reduced.
+type Rat struct {
+	N, D int64
+}
+
+// R returns the reduced rational n/d. It panics if d == 0.
+func R(n, d int64) Rat {
+	if d == 0 {
+		panic("linalg: rational with zero denominator")
+	}
+	if d < 0 {
+		n, d = -n, -d
+	}
+	if g := GCD(n, d); g > 1 {
+		n, d = n/g, d/g
+	}
+	return Rat{N: n, D: d}
+}
+
+// RI returns the rational representing integer n.
+func RI(n int64) Rat { return Rat{N: n, D: 1} }
+
+// Add returns a+b.
+func (a Rat) Add(b Rat) Rat { return R(a.N*b.D+b.N*a.D, a.D*b.D) }
+
+// Sub returns a-b.
+func (a Rat) Sub(b Rat) Rat { return R(a.N*b.D-b.N*a.D, a.D*b.D) }
+
+// Mul returns a·b.
+func (a Rat) Mul(b Rat) Rat { return R(a.N*b.N, a.D*b.D) }
+
+// Div returns a/b; it panics if b is zero.
+func (a Rat) Div(b Rat) Rat {
+	if b.N == 0 {
+		panic("linalg: rational division by zero")
+	}
+	return R(a.N*b.D, a.D*b.N)
+}
+
+// Neg returns -a.
+func (a Rat) Neg() Rat { return Rat{N: -a.N, D: a.D} }
+
+// IsZero reports whether a == 0.
+func (a Rat) IsZero() bool { return a.N == 0 }
+
+// IsInt reports whether a is an integer.
+func (a Rat) IsInt() bool { return a.D == 1 }
+
+// Cmp returns -1, 0, or +1 as a is less than, equal to, or greater than b.
+func (a Rat) Cmp(b Rat) int {
+	l, r := a.N*b.D, b.N*a.D
+	switch {
+	case l < r:
+		return -1
+	case l > r:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders a as "n" or "n/d".
+func (a Rat) String() string {
+	if a.D == 1 {
+		return fmt.Sprintf("%d", a.N)
+	}
+	return fmt.Sprintf("%d/%d", a.N, a.D)
+}
+
+// RatMat is a dense matrix of rationals, used for exact elimination where
+// fraction-free techniques are inconvenient.
+type RatMat struct {
+	R, C int
+	a    []Rat
+}
+
+// NewRatMat returns an R×C zero rational matrix.
+func NewRatMat(r, c int) *RatMat {
+	m := &RatMat{R: r, C: c, a: make([]Rat, r*c)}
+	for i := range m.a {
+		m.a[i] = RI(0)
+	}
+	return m
+}
+
+// RatFromMat converts an integer matrix into a rational matrix.
+func RatFromMat(m *Mat) *RatMat {
+	r := NewRatMat(m.R, m.C)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			r.Set(i, j, RI(m.At(i, j)))
+		}
+	}
+	return r
+}
+
+// At returns element (i, j).
+func (m *RatMat) At(i, j int) Rat { return m.a[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *RatMat) Set(i, j int, v Rat) { m.a[i*m.C+j] = v }
+
+func (m *RatMat) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	for c := 0; c < m.C; c++ {
+		m.a[i*m.C+c], m.a[j*m.C+c] = m.a[j*m.C+c], m.a[i*m.C+c]
+	}
+}
+
+// InverseUnimodular returns the inverse of a unimodular integer matrix as an
+// integer matrix. It panics if m is not square, and returns ok=false if m is
+// singular or the inverse is not integral (i.e. m was not unimodular).
+func (m *Mat) InverseUnimodular() (*Mat, bool) {
+	if m.R != m.C {
+		panic("linalg: InverseUnimodular on non-square matrix")
+	}
+	n := m.R
+	// Gauss-Jordan on [m | I] with exact rationals.
+	w := NewRatMat(n, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.Set(i, j, RI(m.At(i, j)))
+		}
+		w.Set(i, n+i, RI(1))
+	}
+	for col := 0; col < n; col++ {
+		piv := -1
+		for i := col; i < n; i++ {
+			if !w.At(i, col).IsZero() {
+				piv = i
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		w.swapRows(piv, col)
+		p := w.At(col, col)
+		for j := 0; j < 2*n; j++ {
+			w.Set(col, j, w.At(col, j).Div(p))
+		}
+		for i := 0; i < n; i++ {
+			if i == col || w.At(i, col).IsZero() {
+				continue
+			}
+			f := w.At(i, col)
+			for j := 0; j < 2*n; j++ {
+				w.Set(i, j, w.At(i, j).Sub(f.Mul(w.At(col, j))))
+			}
+		}
+	}
+	inv := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := w.At(i, n+j)
+			if !v.IsInt() {
+				return nil, false
+			}
+			inv.Set(i, j, v.N)
+		}
+	}
+	return inv, true
+}

@@ -1,0 +1,176 @@
+package linalg
+
+// SmithNormalForm computes the Smith normal form of an integer matrix:
+// unimodular U (r×r) and V (c×c) with U·A·V = S, where S is diagonal with
+// non-negative entries d₁ | d₂ | … (each diagonal entry divides the next).
+// The SNF underpins lattice reasoning about the transformed data spaces:
+// the diagonal entries are the invariant factors of the lattice map A.
+func SmithNormalForm(a *Mat) (s, u, v *Mat) {
+	s = a.Clone()
+	u = Identity(a.R)
+	v = Identity(a.C)
+
+	n := a.R
+	if a.C < n {
+		n = a.C
+	}
+	for k := 0; k < n; k++ {
+		if !snfPivot(s, u, v, k) {
+			break // remaining block is zero
+		}
+		// Eliminate row and column k below/right of the pivot; pivoting
+		// may reintroduce entries, so iterate to a fixed point.
+		for !snfRowColClear(s, u, v, k) {
+			if !snfPivot(s, u, v, k) {
+				break
+			}
+		}
+		// Enforce the divisibility chain: if s[k][k] ∤ s[i][j] for some
+		// i, j > k, add row i to row k and restart elimination at k.
+		if fixDivisibility(s, u, v, k) {
+			k-- // redo this pivot
+			continue
+		}
+	}
+	// Normalize signs.
+	for k := 0; k < n; k++ {
+		if s.At(k, k) < 0 {
+			negateRow(s, k)
+			negateRow(u, k)
+		}
+	}
+	return s, u, v
+}
+
+// snfPivot moves a nonzero entry of the trailing block into position
+// (k, k), preferring the smallest magnitude. Returns false if the block
+// is entirely zero.
+func snfPivot(s, u, v *Mat, k int) bool {
+	bi, bj := -1, -1
+	var best int64
+	for i := k; i < s.R; i++ {
+		for j := k; j < s.C; j++ {
+			x := s.At(i, j)
+			if x == 0 {
+				continue
+			}
+			if x < 0 {
+				x = -x
+			}
+			if bi < 0 || x < best {
+				bi, bj, best = i, j, x
+			}
+		}
+	}
+	if bi < 0 {
+		return false
+	}
+	if bi != k {
+		s.swapRows(bi, k)
+		u.swapRows(bi, k)
+	}
+	if bj != k {
+		swapCols(s, bj, k)
+		swapCols(v, bj, k)
+	}
+	return true
+}
+
+// snfRowColClear reduces column k below the pivot and row k right of the
+// pivot. Entries divisible by the pivot are eliminated by plain
+// subtraction (pivot untouched); otherwise a Euclidean combination
+// strictly shrinks |pivot|, guaranteeing termination of the outer loop.
+// Returns true when both the column and the row are fully cleared.
+func snfRowColClear(s, u, v *Mat, k int) bool {
+	for i := k + 1; i < s.R; i++ {
+		q := s.At(i, k)
+		if q == 0 {
+			continue
+		}
+		p := s.At(k, k)
+		if q%p == 0 {
+			addRow(s, i, k, -q/p)
+			addRow(u, i, k, -q/p)
+			continue
+		}
+		g, x, y := ExtGCD(p, q)
+		pg, qg := p/g, q/g
+		combineRows(s, k, i, x, y, -qg, pg)
+		combineRows(u, k, i, x, y, -qg, pg)
+	}
+	for j := k + 1; j < s.C; j++ {
+		q := s.At(k, j)
+		if q == 0 {
+			continue
+		}
+		p := s.At(k, k)
+		if q%p == 0 {
+			addCol(s, j, k, -q/p)
+			addCol(v, j, k, -q/p)
+			continue
+		}
+		g, x, y := ExtGCD(p, q)
+		pg, qg := p/g, q/g
+		combineCols(s, k, j, x, y, -qg, pg)
+		combineCols(v, k, j, x, y, -qg, pg)
+	}
+	// Non-divisible combinations may have dirtied the other line again.
+	for i := k + 1; i < s.R; i++ {
+		if s.At(i, k) != 0 {
+			return false
+		}
+	}
+	for j := k + 1; j < s.C; j++ {
+		if s.At(k, j) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// addCol adds f times column src to column dst.
+func addCol(m *Mat, dst, src int, f int64) {
+	for r := 0; r < m.R; r++ {
+		m.Set(r, dst, m.At(r, dst)+f*m.At(r, src))
+	}
+}
+
+// fixDivisibility checks d_k | s[i][j] for the trailing block; when it
+// fails, row i is added to row k (preparing a re-pivot) and true returned.
+func fixDivisibility(s, u, v *Mat, k int) bool {
+	d := s.At(k, k)
+	if d == 0 {
+		return false
+	}
+	for i := k + 1; i < s.R; i++ {
+		for j := k + 1; j < s.C; j++ {
+			if s.At(i, j)%d != 0 {
+				addRow(s, k, i, 1)
+				addRow(u, k, i, 1)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// combineCols applies the 2×2 unimodular transform
+// (colA, colB) ← (x·colA + y·colB, z·colA + t·colB) to matrix m.
+func combineCols(m *Mat, a, b int, x, y, z, t int64) {
+	for r := 0; r < m.R; r++ {
+		ca, cb := m.At(r, a), m.At(r, b)
+		m.Set(r, a, x*ca+y*cb)
+		m.Set(r, b, z*ca+t*cb)
+	}
+}
+
+func swapCols(m *Mat, a, b int) {
+	if a == b {
+		return
+	}
+	for r := 0; r < m.R; r++ {
+		va, vb := m.At(r, a), m.At(r, b)
+		m.Set(r, a, vb)
+		m.Set(r, b, va)
+	}
+}

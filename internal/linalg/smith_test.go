@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkSNF(t *testing.T, a *Mat) {
+	t.Helper()
+	s, u, v := SmithNormalForm(a)
+	if !u.IsUnimodular() {
+		t.Fatalf("U not unimodular for %v: det %d", a, u.Det())
+	}
+	if !v.IsUnimodular() {
+		t.Fatalf("V not unimodular for %v: det %d", a, v.Det())
+	}
+	if !u.Mul(a).Mul(v).Equal(s) {
+		t.Fatalf("U·A·V ≠ S for %v:\nU=%v\nV=%v\nS=%v\nUAV=%v", a, u, v, s, u.Mul(a).Mul(v))
+	}
+	// S diagonal with non-negative divisibility chain.
+	n := s.R
+	if s.C < n {
+		n = s.C
+	}
+	for i := 0; i < s.R; i++ {
+		for j := 0; j < s.C; j++ {
+			if i != j && s.At(i, j) != 0 {
+				t.Fatalf("S not diagonal for %v: S=%v", a, s)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		d := s.At(k, k)
+		if d < 0 {
+			t.Fatalf("negative invariant factor in %v", s)
+		}
+		if k+1 < n {
+			next := s.At(k+1, k+1)
+			if d == 0 && next != 0 {
+				t.Fatalf("zero before nonzero in chain: %v", s)
+			}
+			if d != 0 && next%d != 0 {
+				t.Fatalf("divisibility chain broken (%d ∤ %d) in %v", d, next, s)
+			}
+		}
+	}
+}
+
+func TestSmithKnownCases(t *testing.T) {
+	cases := []struct {
+		a    *Mat
+		diag []int64
+	}{
+		{Identity(3), []int64{1, 1, 1}},
+		{MatFromRows([][]int64{{2, 0}, {0, 3}}), []int64{1, 6}},
+		{MatFromRows([][]int64{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}}), []int64{2, 2, 156}},
+		{MatFromRows([][]int64{{0, 0}, {0, 0}}), []int64{0, 0}},
+		{MatFromRows([][]int64{{6, 4}, {2, 8}}), []int64{2, 20}},
+	}
+	for i, c := range cases {
+		checkSNF(t, c.a)
+		s, _, _ := SmithNormalForm(c.a)
+		for k, want := range c.diag {
+			if got := s.At(k, k); got != want {
+				t.Errorf("case %d: d%d = %d, want %d (S=%v)", i, k, got, want, s)
+			}
+		}
+	}
+}
+
+func TestSmithRectangular(t *testing.T) {
+	checkSNF(t, MatFromRows([][]int64{{1, 2, 3}}))
+	checkSNF(t, MatFromRows([][]int64{{2}, {4}, {6}}))
+	checkSNF(t, MatFromRows([][]int64{{1, 0, 0}, {0, 2, 0}}))
+}
+
+func TestSmithRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		r, c := 1+rng.Intn(4), 1+rng.Intn(4)
+		a := NewMat(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, int64(rng.Intn(13)-6))
+			}
+		}
+		checkSNF(t, a)
+	}
+}
+
+// The product of the first k invariant factors equals the gcd of all k×k
+// minors — checked here for k = min dimension via |det| on square inputs.
+func TestSmithDeterminantInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(3)
+		a := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, int64(rng.Intn(9)-4))
+			}
+		}
+		s, _, _ := SmithNormalForm(a)
+		prod := int64(1)
+		for k := 0; k < n; k++ {
+			prod *= s.At(k, k)
+		}
+		det := a.Det()
+		if det < 0 {
+			det = -det
+		}
+		if prod != det {
+			t.Fatalf("Πdᵢ = %d but |det| = %d for %v (S=%v)", prod, det, a, s)
+		}
+	}
+}

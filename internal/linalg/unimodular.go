@@ -1,0 +1,136 @@
+package linalg
+
+import "fmt"
+
+// CompleteToUnimodular extends a primitive row vector w (gcd of components
+// equal to 1) to a full unimodular matrix whose row `row` equals w. The
+// remaining rows form a basis of a complementary lattice, so the result maps
+// Z^n onto Z^n bijectively. It returns ok=false when w is zero or not
+// primitive.
+//
+// The construction reduces w to a scaled unit vector by a sequence of
+// elementary (unimodular) column operations while accumulating the inverse
+// operations applied from the left; if w·C₁⋯C_k = e₁ then the accumulated
+// matrix A = C_k⁻¹⋯C₁⁻¹ satisfies e₁·A = w, i.e. A has first row w and
+// |det A| = 1.
+func CompleteToUnimodular(w Vec, row int) (*Mat, bool) {
+	n := len(w)
+	if n == 0 || row < 0 || row >= n {
+		return nil, false
+	}
+	if w.IsZero() || ContentOf(w) != 1 {
+		return nil, false
+	}
+	v := w.Clone()
+	acc := Identity(n)
+	for j := 1; j < n; j++ {
+		a, b := v[0], v[j]
+		if b == 0 {
+			continue
+		}
+		g, x, y := ExtGCD(a, b)
+		// Column operation C on columns (0, j):
+		//   col0' = x·col0 + y·colj,  colj' = (-b/g)·col0 + (a/g)·colj
+		// reduces (a, b) to (g, 0). Its inverse, applied to rows of acc:
+		//   row0' = (a/g)·row0 + (b/g)·rowj,  rowj' = -y·row0 + x·rowj.
+		v[0], v[j] = g, 0
+		ag, bg := a/g, b/g
+		for c := 0; c < n; c++ {
+			r0, rj := acc.At(0, c), acc.At(j, c)
+			acc.Set(0, c, ag*r0+bg*rj)
+			acc.Set(j, c, -y*r0+x*rj)
+		}
+	}
+	if v[0] == -1 {
+		// w was primitive so the accumulated gcd is ±1; fold the sign into
+		// the first column operation (negate column 0, i.e. negate row 0 of
+		// the inverse accumulator).
+		for c := 0; c < n; c++ {
+			acc.Set(0, c, -acc.At(0, c))
+		}
+		v[0] = 1
+	}
+	if v[0] != 1 {
+		return nil, false
+	}
+	if row != 0 {
+		acc.swapRows(0, row)
+	}
+	if !acc.Row(row).Equal(w) {
+		panic(fmt.Sprintf("linalg: unimodular completion lost target row: got %v want %v", acc.Row(row), w))
+	}
+	return acc, true
+}
+
+// HermiteNormalForm returns H = U·A where U is unimodular and H is in row
+// Hermite normal form: pivot entries positive, entries above each pivot
+// reduced to [0, pivot), zero rows at the bottom. It returns (H, U).
+func HermiteNormalForm(a *Mat) (*Mat, *Mat) {
+	h := a.Clone()
+	u := Identity(a.R)
+	row := 0
+	for col := 0; col < h.C && row < h.R; col++ {
+		// Clear the column below `row` with row operations driven by gcds.
+		for i := row + 1; i < h.R; i++ {
+			if h.At(i, col) == 0 {
+				continue
+			}
+			p, q := h.At(row, col), h.At(i, col)
+			g, x, y := ExtGCD(p, q)
+			// rows (row, i) ← unimodular combination giving (g, 0) in col.
+			pg, qg := p/g, q/g
+			combineRows(h, row, i, x, y, -qg, pg)
+			combineRows(u, row, i, x, y, -qg, pg)
+		}
+		if h.At(row, col) == 0 {
+			continue
+		}
+		if h.At(row, col) < 0 {
+			negateRow(h, row)
+			negateRow(u, row)
+		}
+		// Reduce entries above the pivot into [0, pivot).
+		p := h.At(row, col)
+		for i := 0; i < row; i++ {
+			q := h.At(i, col)
+			f := floorDiv(q, p)
+			if f != 0 {
+				addRow(h, i, row, -f)
+				addRow(u, i, row, -f)
+			}
+		}
+		row++
+	}
+	return h, u
+}
+
+// combineRows applies the 2×2 unimodular transform
+// (rowA, rowB) ← (x·rowA + y·rowB, z·rowA + t·rowB) to matrix m.
+func combineRows(m *Mat, a, b int, x, y, z, t int64) {
+	for c := 0; c < m.C; c++ {
+		ra, rb := m.At(a, c), m.At(b, c)
+		m.Set(a, c, x*ra+y*rb)
+		m.Set(b, c, z*ra+t*rb)
+	}
+}
+
+func negateRow(m *Mat, r int) {
+	for c := 0; c < m.C; c++ {
+		m.Set(r, c, -m.At(r, c))
+	}
+}
+
+func addRow(m *Mat, dst, src int, f int64) {
+	for c := 0; c < m.C; c++ {
+		m.Set(dst, c, m.At(dst, c)+f*m.At(src, c))
+	}
+}
+
+// floorDiv returns ⌊a/b⌋ for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

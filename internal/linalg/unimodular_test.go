@@ -1,0 +1,170 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompleteToUnimodularBasic(t *testing.T) {
+	cases := []Vec{
+		{1, 0},
+		{0, 1},
+		{1, 1},
+		{2, 3},
+		{3, -2},
+		{1, 0, 0},
+		{0, 0, 1},
+		{2, 3, 5},
+		{6, 10, 15},
+		{1, -1, 1, -1},
+	}
+	for _, w := range cases {
+		for row := 0; row < len(w); row++ {
+			d, ok := CompleteToUnimodular(w, row)
+			if !ok {
+				t.Fatalf("CompleteToUnimodular(%v, %d) failed", w, row)
+			}
+			if !d.IsUnimodular() {
+				t.Errorf("result not unimodular for %v: det=%d", w, d.Det())
+			}
+			if !d.Row(row).Equal(w) {
+				t.Errorf("row %d = %v, want %v", row, d.Row(row), w)
+			}
+		}
+	}
+}
+
+func TestCompleteToUnimodularRejects(t *testing.T) {
+	if _, ok := CompleteToUnimodular(Vec{0, 0}, 0); ok {
+		t.Error("zero vector accepted")
+	}
+	if _, ok := CompleteToUnimodular(Vec{2, 4}, 0); ok {
+		t.Error("non-primitive vector accepted")
+	}
+	if _, ok := CompleteToUnimodular(Vec{1, 2}, 5); ok {
+		t.Error("out-of-range row accepted")
+	}
+	if _, ok := CompleteToUnimodular(Vec{}, 0); ok {
+		t.Error("empty vector accepted")
+	}
+}
+
+func TestCompleteToUnimodularQuick(t *testing.T) {
+	f := func(a, b, c int16, rowSeed uint8) bool {
+		w := Primitive(Vec{int64(a), int64(b), int64(c)})
+		if w.IsZero() {
+			return true // nothing to complete
+		}
+		row := int(rowSeed) % 3
+		d, ok := CompleteToUnimodular(w, row)
+		if !ok {
+			return false
+		}
+		return d.IsUnimodular() && d.Row(row).Equal(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHermiteNormalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		r, c := 1+rng.Intn(4), 1+rng.Intn(4)
+		a := NewMat(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				a.Set(i, j, int64(rng.Intn(11)-5))
+			}
+		}
+		h, u := HermiteNormalForm(a)
+		if !u.IsUnimodular() {
+			t.Fatalf("trial %d: U not unimodular (det %d)", trial, u.Det())
+		}
+		if !u.Mul(a).Equal(h) {
+			t.Fatalf("trial %d: U·A ≠ H", trial)
+		}
+		checkHNFShape(t, h)
+	}
+}
+
+// checkHNFShape verifies the echelon structure: pivots strictly move right,
+// pivots are positive, entries above a pivot lie in [0, pivot), zero rows
+// trail.
+func checkHNFShape(t *testing.T, h *Mat) {
+	t.Helper()
+	prevPivot := -1
+	seenZeroRow := false
+	for i := 0; i < h.R; i++ {
+		p := -1
+		for j := 0; j < h.C; j++ {
+			if h.At(i, j) != 0 {
+				p = j
+				break
+			}
+		}
+		if p < 0 {
+			seenZeroRow = true
+			continue
+		}
+		if seenZeroRow {
+			t.Fatalf("nonzero row after zero row in %v", h)
+		}
+		if p <= prevPivot {
+			t.Fatalf("pivot columns not strictly increasing in %v", h)
+		}
+		if h.At(i, p) <= 0 {
+			t.Fatalf("pivot not positive in %v", h)
+		}
+		for k := 0; k < i; k++ {
+			if v := h.At(k, p); v < 0 || v >= h.At(i, p) {
+				t.Fatalf("entry above pivot not reduced in %v", h)
+			}
+		}
+		prevPivot = p
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {6, 3, 2}, {-6, 3, -2}, {0, 5, 0}, {1, 5, 0}, {-1, 5, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// The completed matrix must be a bijection of the lattice: for random small
+// integer vectors x, D⁻¹(D·x) = x.
+func TestCompletionIsLatticeBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(3)
+		w := make(Vec, n)
+		for i := range w {
+			w[i] = int64(rng.Intn(9) - 4)
+		}
+		w = Primitive(w)
+		if w.IsZero() {
+			continue
+		}
+		d, ok := CompleteToUnimodular(w, rng.Intn(n))
+		if !ok {
+			t.Fatalf("completion failed for %v", w)
+		}
+		inv, ok := d.InverseUnimodular()
+		if !ok {
+			t.Fatalf("inverse failed for unimodular %v", d)
+		}
+		x := make(Vec, n)
+		for i := range x {
+			x[i] = int64(rng.Intn(21) - 10)
+		}
+		if got := inv.MulVec(d.MulVec(x)); !got.Equal(x) {
+			t.Fatalf("D⁻¹D x = %v, want %v", got, x)
+		}
+	}
+}

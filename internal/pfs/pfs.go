@@ -1,0 +1,237 @@
+// Package pfs is a functional (data-bearing) model of the PVFS-style
+// parallel file system underneath the simulator: files hold real bytes,
+// striped block-by-block across storage nodes. Where internal/sim answers
+// "how long does this access take", pfs answers "is the data actually
+// where the layout function says it is" — it is the end-to-end
+// verification layer for file layouts, and the substrate for the §4.3
+// import/export passes on real buffers.
+package pfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"flopt/internal/layout"
+	"flopt/internal/linalg"
+	"flopt/internal/storage/stripe"
+)
+
+// FS is a parallel file system instance: a set of storage nodes holding
+// stripes of every file.
+type FS struct {
+	striping   stripe.Striping
+	blockBytes int64
+	files      map[string]*File
+}
+
+// New creates a file system over storageNodes nodes with the given stripe
+// (block) size in bytes.
+func New(storageNodes int, blockBytes int64) (*FS, error) {
+	if blockBytes < 1 {
+		return nil, fmt.Errorf("pfs: block size must be positive")
+	}
+	return &FS{
+		striping:   stripe.New(storageNodes),
+		blockBytes: blockBytes,
+		files:      map[string]*File{},
+	}, nil
+}
+
+// BlockBytes returns the stripe unit.
+func (fs *FS) BlockBytes() int64 { return fs.blockBytes }
+
+// File is one striped file. Stripes live on per-node block lists, exactly
+// as a PVFS file would be distributed.
+type File struct {
+	fs   *FS
+	name string
+	size int64
+	// nodes[s] holds this file's blocks on storage node s, in local order.
+	nodes [][][]byte
+}
+
+// Create makes (or truncates) a file of the given byte size.
+func (fs *FS) Create(name string, size int64) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("pfs: negative file size")
+	}
+	f := &File{fs: fs, name: name, size: size, nodes: make([][][]byte, fs.striping.Nodes())}
+	blocks := (size + fs.blockBytes - 1) / fs.blockBytes
+	for b := int64(0); b < blocks; b++ {
+		s := fs.striping.NodeOf(b)
+		f.nodes[s] = append(f.nodes[s], make([]byte, fs.blockBytes))
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("pfs: no such file %q", name)
+	}
+	return f, nil
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(name string) error {
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("pfs: no such file %q", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// block returns the backing slice of file block b.
+func (f *File) block(b int64) ([]byte, error) {
+	s := f.fs.striping.NodeOf(b)
+	local := f.fs.striping.LocalIndex(b)
+	if local >= int64(len(f.nodes[s])) {
+		return nil, fmt.Errorf("pfs: block %d beyond end of %q", b, f.name)
+	}
+	return f.nodes[s][local], nil
+}
+
+// NodeOfOffset reports which storage node holds the byte at off.
+func (f *File) NodeOfOffset(off int64) int {
+	return f.fs.striping.NodeOf(off / f.fs.blockBytes)
+}
+
+// ReadAt fills p from the file starting at byte offset off, crossing
+// stripe boundaries as needed.
+func (f *File) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("pfs: read [%d, %d) outside file %q of %d bytes", off, off+int64(len(p)), f.name, f.size)
+	}
+	for n := 0; n < len(p); {
+		b := (off + int64(n)) / f.fs.blockBytes
+		in := (off + int64(n)) % f.fs.blockBytes
+		blk, err := f.block(b)
+		if err != nil {
+			return err
+		}
+		n += copy(p[n:], blk[in:])
+	}
+	return nil
+}
+
+// WriteAt stores p into the file starting at byte offset off.
+func (f *File) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("pfs: write [%d, %d) outside file %q of %d bytes", off, off+int64(len(p)), f.name, f.size)
+	}
+	for n := 0; n < len(p); {
+		b := (off + int64(n)) / f.fs.blockBytes
+		in := (off + int64(n)) % f.fs.blockBytes
+		blk, err := f.block(b)
+		if err != nil {
+			return err
+		}
+		n += copy(blk[in:], p[n:])
+	}
+	return nil
+}
+
+const elemBytes = 8 // float64 elements, as in the out-of-core benchmarks
+
+// ArrayFile is a disk-resident array stored under a file layout: element
+// (i₁, …) lives at byte offset 8·layout.Offset(i).
+type ArrayFile struct {
+	file   *File
+	layout layout.Layout
+	dims   []int64
+}
+
+// CreateArray creates the file backing an array under the given layout.
+func (fs *FS) CreateArray(name string, dims []int64, l layout.Layout) (*ArrayFile, error) {
+	f, err := fs.Create(name, l.SizeElems()*elemBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &ArrayFile{file: f, layout: l, dims: append([]int64(nil), dims...)}, nil
+}
+
+// Layout returns the array's layout.
+func (a *ArrayFile) Layout() layout.Layout { return a.layout }
+
+// Dims returns the array extents.
+func (a *ArrayFile) Dims() []int64 { return append([]int64(nil), a.dims...) }
+
+// Set stores v at index idx.
+func (a *ArrayFile) Set(idx linalg.Vec, v float64) error {
+	var buf [elemBytes]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return a.file.WriteAt(buf[:], a.layout.Offset(idx)*elemBytes)
+}
+
+// Get loads the element at index idx.
+func (a *ArrayFile) Get(idx linalg.Vec) (float64, error) {
+	var buf [elemBytes]byte
+	if err := a.file.ReadAt(buf[:], a.layout.Offset(idx)*elemBytes); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// Import performs the §4.3 input conversion: it takes the array contents
+// in canonical row-major element order and stores them under the file's
+// layout.
+func (a *ArrayFile) Import(canonical []float64) error {
+	want := int64(1)
+	for _, d := range a.dims {
+		want *= d
+	}
+	if int64(len(canonical)) != want {
+		return fmt.Errorf("pfs: canonical buffer has %d elements, array needs %d", len(canonical), want)
+	}
+	idx := make(linalg.Vec, len(a.dims))
+	var err error
+	forEachIndex(a.dims, idx, func(lin int64) {
+		if err == nil {
+			err = a.Set(idx, canonical[lin])
+		}
+	})
+	return err
+}
+
+// Export performs the §4.3 output conversion: it reads the whole array
+// back into canonical row-major order.
+func (a *ArrayFile) Export() ([]float64, error) {
+	size := int64(1)
+	for _, d := range a.dims {
+		size *= d
+	}
+	out := make([]float64, size)
+	idx := make(linalg.Vec, len(a.dims))
+	var err error
+	forEachIndex(a.dims, idx, func(lin int64) {
+		if err == nil {
+			out[lin], err = a.Get(idx)
+		}
+	})
+	return out, err
+}
+
+// forEachIndex enumerates the box [0,dims) in row-major order.
+func forEachIndex(dims []int64, idx linalg.Vec, f func(lin int64)) {
+	var rec func(k int, lin int64)
+	rec = func(k int, lin int64) {
+		if k == len(dims) {
+			f(lin)
+			return
+		}
+		for v := int64(0); v < dims[k]; v++ {
+			idx[k] = v
+			rec(k+1, lin*dims[k]+v)
+		}
+	}
+	rec(0, 0)
+}

@@ -1,0 +1,58 @@
+package poly
+
+import (
+	"sort"
+
+	"flopt/internal/linalg"
+)
+
+// AccessGroup aggregates every reference to one array that shares the same
+// access matrix Q, along with its Eq. (5) weight: the summed estimated
+// dynamic access counts of the member references.
+type AccessGroup struct {
+	Q      *linalg.Mat
+	Refs   []RefInNest
+	Weight int64
+}
+
+// AccessGroups partitions the references to array a by access matrix and
+// computes each group's weight (Eq. 5), with n_j estimated as the trip
+// count of the enclosing nest. Groups are returned in decreasing weight
+// order (ties broken deterministically by first appearance).
+func AccessGroups(p *Program, a *Array) []*AccessGroup {
+	groups := AccessGroupsInOrder(p, a)
+	order := make(map[*AccessGroup]int, len(groups))
+	for i, g := range groups {
+		order[g] = i
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		if groups[i].Weight != groups[j].Weight {
+			return groups[i].Weight > groups[j].Weight
+		}
+		return order[groups[i]] < order[groups[j]]
+	})
+	return groups
+}
+
+// AccessGroupsInOrder is AccessGroups without the Eq. 5 weight ordering:
+// groups appear in first-reference order. Used by the ablation study that
+// measures what the weighted conflict resolution buys.
+func AccessGroupsInOrder(p *Program, a *Array) []*AccessGroup {
+	var groups []*AccessGroup
+	for _, rn := range p.RefsTo(a) {
+		var g *AccessGroup
+		for _, cand := range groups {
+			if cand.Q.Equal(rn.Ref.Q) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &AccessGroup{Q: rn.Ref.Q}
+			groups = append(groups, g)
+		}
+		g.Refs = append(g.Refs, rn)
+		g.Weight += rn.Nest.TripCount()
+	}
+	return groups
+}

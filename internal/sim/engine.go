@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"flopt/internal/storage/cache"
+	"flopt/internal/storage/disk"
+	"flopt/internal/storage/stripe"
+	"flopt/internal/trace"
+)
+
+// Report summarizes one simulated execution.
+type Report struct {
+	Config Config
+	// ExecTimeUS is the application execution time: the barrier time
+	// after the last nest (max over threads).
+	ExecTimeUS int64
+	// ThreadTimeUS holds each thread's final virtual time.
+	ThreadTimeUS []int64
+	// IO and Storage are the aggregated cache statistics per level.
+	IO, Storage cache.Stats
+	// DiskReads and DiskSeqReads count device-level block reads.
+	DiskReads, DiskSeqReads int64
+	// DiskBusyUS is the summed device service time across disks.
+	DiskBusyUS int64
+	// Accesses is the total number of block requests issued.
+	Accesses int64
+	// Demotions counts DEMOTE-LRU downward transfers.
+	Demotions int64
+	// Prefetches counts storage-node readahead fills.
+	Prefetches int64
+	// PolicyName records the cache policy used.
+	PolicyName string
+}
+
+// IOMissRate and StorageMissRate expose the Table 2/3 metrics.
+func (r *Report) IOMissRate() float64      { return r.IO.MissRate() }
+func (r *Report) StorageMissRate() float64 { return r.Storage.MissRate() }
+
+// Machine is an instantiated platform ready to run traces.
+type Machine struct {
+	cfg     Config
+	striper stripe.Striping
+	disks   []*disk.Disk
+	mgr     cache.Manager
+	// ioOf[t] caches the thread→I/O node routing.
+	ioOf []int
+	// fileBlocks bounds storage-node readahead per file (optional; see
+	// SetFileBlocks). Readahead past the recorded end is suppressed.
+	fileBlocks []int64
+	// streams[s] tracks, per file, the set of "expected next" local block
+	// indices of in-flight sequential streams on storage node s — a
+	// multi-stream readahead detector (one file serves one stream per
+	// client thread, so a single last-position would never fire).
+	streams []map[streamKey]struct{}
+	// prefetches counts readahead fills performed.
+	prefetches int64
+}
+
+// SetFileBlocks records each file's length in blocks so readahead stops at
+// end of file. Without it, readahead is unbounded (phantom blocks may
+// pollute the storage caches).
+func (m *Machine) SetFileBlocks(blocks []int64) {
+	m.fileBlocks = append([]int64(nil), blocks...)
+}
+
+// NewMachine builds the platform. For the "karma" policy, hints must be
+// supplied (see GenerateHints); other policies ignore them.
+func NewMachine(cfg Config, hints []cache.RangeHint) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "lru"
+	}
+	mgr, err := cache.NewByName(cfg.Policy, cfg.IONodes, cfg.StorageNodes,
+		cfg.IOCacheBlocks, cfg.StorageCacheBlocks, hints)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:     cfg,
+		striper: stripe.New(cfg.StorageNodes),
+		mgr:     mgr,
+		ioOf:    make([]int, cfg.Threads()),
+	}
+	for i := 0; i < cfg.StorageNodes; i++ {
+		m.disks = append(m.disks, disk.New(cfg.Disk))
+		m.streams = append(m.streams, map[streamKey]struct{}{})
+	}
+	for t := range m.ioOf {
+		m.ioOf[t] = cfg.IONodeOf(t)
+	}
+	return m, nil
+}
+
+// threadHeap orders active threads by virtual time (then id, for
+// determinism).
+type threadHeap struct {
+	time []int64
+	ids  []int
+}
+
+func (h *threadHeap) Len() int { return len(h.ids) }
+func (h *threadHeap) Less(a, b int) bool {
+	ta, tb := h.time[h.ids[a]], h.time[h.ids[b]]
+	if ta != tb {
+		return ta < tb
+	}
+	return h.ids[a] < h.ids[b]
+}
+func (h *threadHeap) Swap(a, b int) { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
+func (h *threadHeap) Push(x any)    { h.ids = append(h.ids, x.(int)) }
+func (h *threadHeap) Pop() any      { x := h.ids[len(h.ids)-1]; h.ids = h.ids[:len(h.ids)-1]; return x }
+
+// Run executes the given nest traces in program order with a barrier
+// between nests and returns the report. The machine's caches keep their
+// contents across nests (and across Run calls; use Reset for a cold
+// start). Internal clocks run in nanoseconds; the report converts to
+// microseconds.
+func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
+	threads := m.cfg.Threads()
+	clock := make([]int64, threads) // ns
+	var accesses int64
+
+	for ni, nt := range traces {
+		if len(nt.Streams) != threads {
+			return nil, fmt.Errorf("sim: nest %d trace has %d streams, platform has %d threads",
+				ni, len(nt.Streams), threads)
+		}
+		// Barrier: all threads start the nest at the same time.
+		var barrier int64
+		for _, c := range clock {
+			if c > barrier {
+				barrier = c
+			}
+		}
+		pos := make([]int, threads)
+		h := &threadHeap{time: clock}
+		for t := 0; t < threads; t++ {
+			clock[t] = barrier
+			if len(nt.Streams[t]) > 0 {
+				h.ids = append(h.ids, t)
+			}
+		}
+		heap.Init(h)
+		for h.Len() > 0 {
+			t := h.ids[0]
+			acc := nt.Streams[t][pos[t]]
+			clock[t] += m.serve(clock[t], t, acc)
+			accesses++
+			pos[t]++
+			if pos[t] >= len(nt.Streams[t]) {
+				heap.Pop(h)
+			} else {
+				heap.Fix(h, 0)
+			}
+		}
+	}
+
+	threadUS := make([]int64, threads)
+	for t, c := range clock {
+		threadUS[t] = c / 1000
+	}
+	rep := &Report{
+		Config:       m.cfg,
+		ThreadTimeUS: threadUS,
+		IO:           m.mgr.IOStats(),
+		Storage:      m.mgr.StorageStats(),
+		Accesses:     accesses,
+		PolicyName:   m.mgr.Name(),
+	}
+	for _, c := range threadUS {
+		if c > rep.ExecTimeUS {
+			rep.ExecTimeUS = c
+		}
+	}
+	for _, d := range m.disks {
+		rep.DiskReads += d.Reads()
+		rep.DiskSeqReads += d.SeqReads()
+		rep.DiskBusyUS += d.BusyNS() / 1000
+	}
+	if dl, ok := m.mgr.(*cache.DemoteLRU); ok {
+		rep.Demotions = dl.Demotions()
+	}
+	rep.Prefetches = m.prefetches
+	return rep, nil
+}
+
+// serve routes one block request issued by thread t at the given virtual
+// time (ns) and returns its latency in nanoseconds.
+func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
+	io := m.ioOf[t]
+	st := m.striper.NodeOf(acc.Block)
+	blk := cache.BlockID{File: acc.File, Block: acc.Block}
+	out := m.mgr.Read(io, st, blk)
+
+	lat := m.cfg.CPUPerElemNS*int64(acc.Elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
+	switch out.Level {
+	case cache.HitIO:
+		// done
+	case cache.HitStorage:
+		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
+	case cache.HitDisk:
+		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
+		arrive := now + lat
+		local := m.striper.LocalIndex(acc.Block)
+		done := m.disks[st].Read(arrive, acc.File, local)
+		lat += done - arrive
+		// Server-side multi-stream detection: a demand read continuing
+		// any in-flight sequential stream of this file on this node arms
+		// readahead, as real per-flow readahead does.
+		key := streamKey{file: acc.File, next: local}
+		if _, ok := m.streams[st][key]; ok {
+			delete(m.streams[st], key)
+			m.readahead(acc)
+		} else if len(m.streams[st]) > maxStreams {
+			m.streams[st] = map[streamKey]struct{}{} // crude expiry
+		}
+		m.streams[st][streamKey{file: acc.File, next: local + 1}] = struct{}{}
+	}
+	if out.Demoted {
+		lat += 1000 * m.cfg.NetISUS
+	}
+	return lat
+}
+
+// streamKey identifies one expected stream continuation on a storage node.
+type streamKey struct {
+	file int32
+	next int64
+}
+
+// maxStreams bounds the per-node stream table (ample for one stream per
+// thread per file).
+const maxStreams = 4096
+
+// readahead pulls the next sequential blocks of the file into the storage
+// caches after a demand disk read (when enabled). Each prefetched block
+// pays its transfer time on the disk that owns its stripe — delaying
+// queued demand reads, which is the realistic cost of speculation — but
+// adds nothing to the requester's latency.
+func (m *Machine) readahead(acc trace.Access) {
+	if m.cfg.ReadaheadBlocks <= 0 {
+		return
+	}
+	pf, ok := m.mgr.(cache.Prefetcher)
+	if !ok {
+		return // policy does not accept readahead fills (e.g. KARMA)
+	}
+	for r := 1; r <= m.cfg.ReadaheadBlocks; r++ {
+		next := acc.Block + int64(r)
+		if int(acc.File) < len(m.fileBlocks) && next >= m.fileBlocks[acc.File] {
+			break // end of file
+		}
+		st := m.striper.NodeOf(next)
+		blk := cache.BlockID{File: acc.File, Block: next}
+		if pf.PrefetchStorage(st, blk) {
+			m.disks[st].Read(0, acc.File, m.striper.LocalIndex(next))
+			m.prefetches++
+		}
+	}
+}
+
+// Reset clears all caches, disks and counters for a fresh cold run.
+func (m *Machine) Reset() {
+	m.mgr.Reset()
+	for i, d := range m.disks {
+		d.Reset()
+		m.streams[i] = map[streamKey]struct{}{}
+	}
+	m.prefetches = 0
+}
+
+// Simulate is the one-shot convenience wrapper: build a machine, run the
+// traces cold, return the report.
+func Simulate(cfg Config, traces []*trace.NestTrace, hints []cache.RangeHint) (*Report, error) {
+	m, err := NewMachine(cfg, hints)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(traces)
+}

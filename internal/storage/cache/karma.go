@@ -1,0 +1,296 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RangeHint is the compiler/application hint KARMA consumes: one contiguous
+// block range of a file plus the expected access frequency arriving at each
+// I/O cache. Hints for one file must not overlap.
+type RangeHint struct {
+	File  int32
+	Start int64 // first block (inclusive)
+	End   int64 // past-the-end block
+	// FreqPerIO[i] is the expected number of accesses to this range routed
+	// through I/O cache i.
+	FreqPerIO []float64
+}
+
+// Blocks returns the range size in blocks.
+func (h RangeHint) Blocks() int64 { return h.End - h.Start }
+
+// TotalFreq returns the summed expected accesses across all I/O caches.
+func (h RangeHint) TotalFreq() float64 {
+	var s float64
+	for _, f := range h.FreqPerIO {
+		s += f
+	}
+	return s
+}
+
+// KARMA implements the exclusive, hint-driven multi-level policy of Yadgar,
+// Factor & Schuster (FAST'07): the hinted ranges are classified by marginal
+// benefit (access density) and each range is placed at exactly one level —
+// the greedy allocation fills each I/O cache with its densest ranges, then
+// fills each storage cache with the densest leftovers (scaled by the
+// striping share it sees). Each placed range receives its own LRU-managed
+// cache partition; blocks of unplaced ranges bypass the caches entirely.
+type KARMA struct {
+	nIO, nStorage int
+	hints         []RangeHint
+	byFile        map[int32][]int // hint indices sorted by Start
+
+	// allocIO[i][h] / allocST[s][h] = blocks of hint h granted at that cache.
+	allocIO []map[int]int64
+	allocST []map[int]int64
+	// partIO[i][h] / partST[s][h] = the partition caches.
+	partIO []map[int]*LRU
+	partST []map[int]*LRU
+	// streamIO[i] / streamST[s] are small reserved LRU partitions for
+	// blocks of ranges placed at no level, modeling KARMA's residual
+	// partition: without them, actively-streamed but unplaced blocks
+	// would pay a disk access on every touch.
+	streamIO []*LRU
+	streamST []*LRU
+}
+
+// NewKARMA builds the policy. Capacities are per-cache block counts; hints
+// describe the expected workload (see RangeHint). Blocks outside every hint
+// are never cached.
+func NewKARMA(nIO, nStorage, capIO, capStorage int, hints []RangeHint) *KARMA {
+	k := &KARMA{nIO: nIO, nStorage: nStorage, hints: hints, byFile: map[int32][]int{}}
+	for idx, h := range hints {
+		k.byFile[h.File] = append(k.byFile[h.File], idx)
+	}
+	for _, idxs := range k.byFile {
+		sort.Slice(idxs, func(a, b int) bool { return hints[idxs[a]].Start < hints[idxs[b]].Start })
+	}
+
+	// Reserve a slice of each cache for unplaced traffic (the residual
+	// partition); the rest is allocated to hinted ranges.
+	reserve := func(capacity int) (stream, rest int) {
+		stream = capacity / 4
+		if stream < 2 {
+			stream = 2
+		}
+		if stream > capacity {
+			stream = capacity
+		}
+		return stream, capacity - stream
+	}
+	var streamIO, streamST int
+	streamIO, capIO = reserve(capIO)
+	streamST, capStorage = reserve(capStorage)
+	k.streamIO = make([]*LRU, nIO)
+	for i := 0; i < nIO; i++ {
+		k.streamIO[i] = NewLRU(streamIO)
+	}
+	k.streamST = make([]*LRU, nStorage)
+	for s := 0; s < nStorage; s++ {
+		k.streamST[s] = NewLRU(streamST)
+	}
+
+	// Level 1: every I/O cache independently takes its densest ranges.
+	k.allocIO = make([]map[int]int64, nIO)
+	k.partIO = make([]map[int]*LRU, nIO)
+	for i := 0; i < nIO; i++ {
+		k.allocIO[i] = map[int]int64{}
+		k.partIO[i] = map[int]*LRU{}
+		type cand struct {
+			idx     int
+			density float64
+		}
+		var cs []cand
+		for idx, h := range hints {
+			if i < len(h.FreqPerIO) && h.FreqPerIO[i] > 0 && h.Blocks() > 0 {
+				cs = append(cs, cand{idx, h.FreqPerIO[i] / float64(h.Blocks())})
+			}
+		}
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].density != cs[b].density {
+				return cs[a].density > cs[b].density
+			}
+			return cs[a].idx < cs[b].idx
+		})
+		remaining := int64(capIO)
+		for _, c := range cs {
+			if remaining <= 0 {
+				break
+			}
+			grant := hints[c.idx].Blocks()
+			if grant > remaining {
+				grant = remaining
+			}
+			k.allocIO[i][c.idx] = grant
+			k.partIO[i][c.idx] = NewLRU(int(grant))
+			remaining -= grant
+		}
+	}
+
+	// Residual demand per range: frequency not absorbed by I/O-level
+	// placements (weighted by the granted fraction).
+	residual := make([]float64, len(hints))
+	for idx, h := range hints {
+		for i := 0; i < nIO && i < len(h.FreqPerIO); i++ {
+			frac := 0.0
+			if g := k.allocIO[i][idx]; h.Blocks() > 0 {
+				frac = float64(g) / float64(h.Blocks())
+			}
+			residual[idx] += h.FreqPerIO[i] * (1 - frac)
+		}
+	}
+
+	// Level 2: each storage cache takes the densest leftovers; it only
+	// ever sees ~1/nStorage of a range's blocks (striping).
+	k.allocST = make([]map[int]int64, nStorage)
+	k.partST = make([]map[int]*LRU, nStorage)
+	for s := 0; s < nStorage; s++ {
+		k.allocST[s] = map[int]int64{}
+		k.partST[s] = map[int]*LRU{}
+		type cand struct {
+			idx     int
+			density float64
+		}
+		var cs []cand
+		for idx, h := range hints {
+			if residual[idx] > 0 && h.Blocks() > 0 {
+				cs = append(cs, cand{idx, residual[idx] / float64(h.Blocks())})
+			}
+		}
+		sort.Slice(cs, func(a, b int) bool {
+			if cs[a].density != cs[b].density {
+				return cs[a].density > cs[b].density
+			}
+			return cs[a].idx < cs[b].idx
+		})
+		remaining := int64(capStorage)
+		for _, c := range cs {
+			if remaining <= 0 {
+				break
+			}
+			share := (hints[c.idx].Blocks() + int64(nStorage) - 1) / int64(nStorage)
+			if share > remaining {
+				share = remaining
+			}
+			k.allocST[s][c.idx] = share
+			k.partST[s][c.idx] = NewLRU(int(share))
+			remaining -= share
+		}
+	}
+	return k
+}
+
+// rangeOf returns the hint index covering b, or -1.
+func (k *KARMA) rangeOf(b BlockID) int {
+	idxs := k.byFile[b.File]
+	lo, hi := 0, len(idxs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		h := k.hints[idxs[mid]]
+		switch {
+		case b.Block < h.Start:
+			hi = mid
+		case b.Block >= h.End:
+			lo = mid + 1
+		default:
+			return idxs[mid]
+		}
+	}
+	return -1
+}
+
+// Read implements Manager.
+func (k *KARMA) Read(io, st int, b BlockID) Outcome {
+	r := k.rangeOf(b)
+	if r >= 0 {
+		if p, ok := k.partIO[io][r]; ok {
+			if p.Access(b) {
+				return Outcome{Level: HitIO}
+			}
+			// Exclusive: a range placed at the I/O level is never cached
+			// at the storage level, so the miss goes straight to disk.
+			return Outcome{Level: HitDisk}
+		}
+		if p, ok := k.partST[st][r]; ok {
+			if p.Access(b) {
+				return Outcome{Level: HitStorage}
+			}
+			return Outcome{Level: HitDisk}
+		}
+	}
+	// Unplaced (or unhinted) traffic flows through the residual
+	// partitions at both levels.
+	if k.streamIO[io].Access(b) {
+		return Outcome{Level: HitIO}
+	}
+	if k.streamST[st].Access(b) {
+		return Outcome{Level: HitStorage}
+	}
+	return Outcome{Level: HitDisk}
+}
+
+// Name implements Manager.
+func (k *KARMA) Name() string { return "KARMA" }
+
+// IOStats implements Manager.
+func (k *KARMA) IOStats() Stats {
+	var s Stats
+	for _, parts := range k.partIO {
+		for _, p := range parts {
+			s.Add(p.Stats())
+		}
+	}
+	for _, p := range k.streamIO {
+		s.Add(p.Stats())
+	}
+	return s
+}
+
+// StorageStats implements Manager.
+func (k *KARMA) StorageStats() Stats {
+	var s Stats
+	for _, parts := range k.partST {
+		for _, p := range parts {
+			s.Add(p.Stats())
+		}
+	}
+	for _, p := range k.streamST {
+		s.Add(p.Stats())
+	}
+	return s
+}
+
+// Reset implements Manager.
+func (k *KARMA) Reset() {
+	for _, parts := range k.partIO {
+		for _, p := range parts {
+			p.Reset()
+		}
+	}
+	for _, parts := range k.partST {
+		for _, p := range parts {
+			p.Reset()
+		}
+	}
+	for _, p := range k.streamIO {
+		p.Reset()
+	}
+	for _, p := range k.streamST {
+		p.Reset()
+	}
+}
+
+// Describe summarizes the allocation for diagnostics.
+func (k *KARMA) Describe() string {
+	nio, nst := 0, 0
+	for _, m := range k.partIO {
+		nio += len(m)
+	}
+	for _, m := range k.partST {
+		nst += len(m)
+	}
+	return fmt.Sprintf("KARMA{%d hints, %d io partitions, %d storage partitions}", len(k.hints), nio, nst)
+}
+
+var _ Manager = (*KARMA)(nil)

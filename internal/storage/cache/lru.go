@@ -1,0 +1,204 @@
+// Package cache implements the block-granular storage caches of the
+// evaluation platform: a core LRU cache plus the three multi-level
+// management policies the paper tests — inclusive LRU (the default),
+// DEMOTE-LRU [Wong & Wilkes, USENIX ATC'02], and KARMA [Yadgar, Factor &
+// Schuster, FAST'07].
+package cache
+
+import "fmt"
+
+// BlockID identifies one cache-management unit: block Block of file File.
+type BlockID struct {
+	File  int32
+	Block int64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Demotions int64 // blocks received by demotion (DEMOTE-LRU lower level)
+}
+
+// HitRate returns Hits/Accesses, or 0 for an idle cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns Misses/Accesses, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Demotions += o.Demotions
+}
+
+// entry is an intrusive doubly-linked LRU list node.
+type entry struct {
+	id         BlockID
+	prev, next *entry
+}
+
+// LRU is a fixed-capacity block cache with least-recently-used replacement.
+// The zero value is not usable; construct with NewLRU.
+type LRU struct {
+	cap     int
+	items   map[BlockID]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	stats   Stats
+	onEvict func(BlockID)
+}
+
+// NewLRU returns an empty cache holding at most capacity blocks.
+// A capacity of 0 produces a cache that misses every access.
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
+	}
+	return &LRU{cap: capacity, items: make(map[BlockID]*entry, capacity)}
+}
+
+// SetEvictCallback registers a function invoked with each block evicted by
+// capacity pressure (not by Remove). Used by DEMOTE-LRU to demote victims.
+func (c *LRU) SetEvictCallback(f func(BlockID)) { c.onEvict = f }
+
+// Capacity returns the maximum block count.
+func (c *LRU) Capacity() int { return c.cap }
+
+// Len returns the current block count.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Stats returns the counters accumulated so far.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// Contains reports whether b is cached, without touching recency or stats.
+func (c *LRU) Contains(b BlockID) bool {
+	_, ok := c.items[b]
+	return ok
+}
+
+// Access looks up block b, counting a hit or miss. On a hit the block
+// becomes most recently used. On a miss the block is inserted, evicting
+// the LRU victim if the cache is full. Returns whether the access hit.
+func (c *LRU) Access(b BlockID) bool {
+	c.stats.Accesses++
+	if e, ok := c.items[b]; ok {
+		c.stats.Hits++
+		c.moveToFront(e)
+		return true
+	}
+	c.stats.Misses++
+	c.Insert(b)
+	return false
+}
+
+// Probe looks up block b counting a hit or miss but never inserts.
+func (c *LRU) Probe(b BlockID) bool {
+	c.stats.Accesses++
+	if e, ok := c.items[b]; ok {
+		c.stats.Hits++
+		c.moveToFront(e)
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Insert places b at the MRU position (inserting it if absent), evicting
+// the LRU victim when full. No hit/miss is counted.
+func (c *LRU) Insert(b BlockID) {
+	if e, ok := c.items[b]; ok {
+		c.moveToFront(e)
+		return
+	}
+	if c.cap == 0 {
+		return
+	}
+	if len(c.items) >= c.cap {
+		c.evictLRU()
+	}
+	e := &entry{id: b}
+	c.items[b] = e
+	c.pushFront(e)
+}
+
+// Remove deletes b from the cache if present (no eviction callback).
+// Returns whether the block was present.
+func (c *LRU) Remove(b BlockID) bool {
+	e, ok := c.items[b]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.items, b)
+	return true
+}
+
+// Reset clears contents and counters.
+func (c *LRU) Reset() {
+	c.items = make(map[BlockID]*entry, c.cap)
+	c.head, c.tail = nil, nil
+	c.stats = Stats{}
+}
+
+func (c *LRU) evictLRU() {
+	v := c.tail
+	if v == nil {
+		return
+	}
+	c.unlink(v)
+	delete(c.items, v.id)
+	c.stats.Evictions++
+	if c.onEvict != nil {
+		c.onEvict(v.id)
+	}
+}
+
+func (c *LRU) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *LRU) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *LRU) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func b(f int32, n int64) BlockID { return BlockID{File: f, Block: n} }
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU(2)
+	if c.Access(b(0, 1)) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(b(0, 1)) {
+		t.Error("warm access missed")
+	}
+	c.Access(b(0, 2))
+	c.Access(b(0, 3)) // evicts 1 (LRU after 1,2 accessed, 1 is... order: 1 warm, 2, so LRU is 1)
+	if c.Contains(b(0, 1)) {
+		t.Error("block 1 should be evicted")
+	}
+	if !c.Contains(b(0, 2)) || !c.Contains(b(0, 3)) {
+		t.Error("blocks 2, 3 should be cached")
+	}
+	if c.Len() != 2 || c.Capacity() != 2 {
+		t.Errorf("len=%d cap=%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := NewLRU(3)
+	c.Access(b(0, 1))
+	c.Access(b(0, 2))
+	c.Access(b(0, 3))
+	c.Access(b(0, 1)) // 1 becomes MRU; LRU order now 2,3,1
+	c.Access(b(0, 4)) // evicts 2
+	if c.Contains(b(0, 2)) {
+		t.Error("2 should be the victim")
+	}
+	if !c.Contains(b(0, 1)) || !c.Contains(b(0, 3)) || !c.Contains(b(0, 4)) {
+		t.Error("wrong survivors")
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	c := NewLRU(2)
+	c.Access(b(0, 1))
+	c.Access(b(0, 1))
+	c.Access(b(0, 2))
+	c.Access(b(0, 3))
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 1 || s.Misses != 3 || s.Evictions != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.25 || s.MissRate() != 0.75 {
+		t.Errorf("rates = %f/%f", s.HitRate(), s.MissRate())
+	}
+	if (Stats{}).HitRate() != 0 || (Stats{}).MissRate() != 0 {
+		t.Error("zero-access rates should be 0")
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU(0)
+	for i := 0; i < 5; i++ {
+		if c.Access(b(0, int64(i%2))) {
+			t.Error("zero-capacity cache hit")
+		}
+	}
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache stored a block")
+	}
+}
+
+func TestLRUNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewLRU(-1)
+}
+
+func TestLRUEvictCallback(t *testing.T) {
+	c := NewLRU(1)
+	var evicted []BlockID
+	c.SetEvictCallback(func(id BlockID) { evicted = append(evicted, id) })
+	c.Access(b(0, 1))
+	c.Access(b(0, 2))
+	c.Remove(b(0, 2)) // Remove must not fire the callback
+	if len(evicted) != 1 || evicted[0] != b(0, 1) {
+		t.Errorf("evicted = %v", evicted)
+	}
+}
+
+func TestLRURemoveAndProbe(t *testing.T) {
+	c := NewLRU(2)
+	c.Access(b(0, 1))
+	if !c.Remove(b(0, 1)) || c.Remove(b(0, 1)) {
+		t.Error("Remove return values wrong")
+	}
+	if c.Probe(b(0, 1)) {
+		t.Error("probe hit after remove")
+	}
+	if c.Contains(b(0, 1)) {
+		t.Error("Contains after remove")
+	}
+	// Probe must not insert.
+	if c.Contains(b(0, 9)) {
+		t.Error("probe inserted")
+	}
+	c.Probe(b(0, 9))
+	if c.Contains(b(0, 9)) {
+		t.Error("probe inserted")
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	c := NewLRU(2)
+	c.Access(b(0, 1))
+	c.Reset()
+	if c.Len() != 0 || c.Stats().Accesses != 0 {
+		t.Error("reset incomplete")
+	}
+	if c.Access(b(0, 1)) {
+		t.Error("hit after reset")
+	}
+}
+
+func TestLRUFilesAreDistinct(t *testing.T) {
+	c := NewLRU(4)
+	c.Access(b(0, 7))
+	if c.Access(b(1, 7)) {
+		t.Error("blocks of different files must not collide")
+	}
+}
+
+// Capacity monotonicity: on any fixed trace, a larger LRU cache never has
+// fewer hits (LRU has the stack property).
+func TestLRUStackProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	trace := make([]BlockID, 4000)
+	for i := range trace {
+		// Skewed workload over 64 blocks.
+		trace[i] = b(0, int64(rng.Intn(8)*rng.Intn(8)))
+	}
+	prevHits := int64(-1)
+	for _, capacity := range []int{1, 2, 4, 8, 16, 32, 64} {
+		c := NewLRU(capacity)
+		for _, id := range trace {
+			c.Access(id)
+		}
+		if h := c.Stats().Hits; h < prevHits {
+			t.Fatalf("capacity %d has fewer hits (%d) than smaller cache (%d)", capacity, h, prevHits)
+		} else {
+			prevHits = h
+		}
+	}
+}
+
+// The cache never exceeds capacity, and Len equals the number of distinct
+// retained blocks.
+func TestLRUCapacityInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewLRU(16)
+	for i := 0; i < 10000; i++ {
+		c.Access(b(int32(rng.Intn(3)), int64(rng.Intn(100))))
+		if c.Len() > 16 {
+			t.Fatalf("cache exceeded capacity: %d", c.Len())
+		}
+	}
+	if c.Len() != 16 {
+		t.Errorf("steady-state len = %d, want 16", c.Len())
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Accesses: 1, Hits: 2, Misses: 3, Evictions: 4, Demotions: 5}
+	a.Add(Stats{Accesses: 10, Hits: 20, Misses: 30, Evictions: 40, Demotions: 50})
+	if a != (Stats{Accesses: 11, Hits: 22, Misses: 33, Evictions: 44, Demotions: 55}) {
+		t.Errorf("Add = %+v", a)
+	}
+}

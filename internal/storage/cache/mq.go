@@ -1,0 +1,248 @@
+package cache
+
+import "container/list"
+
+// MQ implements the Multi-Queue replacement algorithm of Zhou, Philbin &
+// Li (USENIX ATC'01) — cited by the paper as the classic second-level
+// buffer-cache policy (its related work [50]). MQ maintains m LRU queues
+// Q0…Qm−1 partitioned by reference frequency (a block with 2^i ≤ refs <
+// 2^(i+1) lives in Qi), an expiry mechanism that demotes blocks whose
+// temporal distance has passed, and a history queue Qout remembering the
+// reference counts of recently evicted blocks so that re-fetched blocks
+// regain their frequency class.
+type MQ struct {
+	cap      int
+	numQ     int
+	lifeTime int64
+
+	queues []*list.List // queues[i] front = LRU end
+	items  map[BlockID]*mqEntry
+	out    *list.List // history (front = oldest)
+	outMap map[BlockID]*list.Element
+	outCap int
+
+	now   int64
+	stats Stats
+}
+
+type mqEntry struct {
+	id     BlockID
+	refs   int64
+	expire int64
+	level  int
+	elem   *list.Element
+}
+
+// NewMQ returns an MQ cache with the given capacity in blocks. numQueues
+// and lifeTime follow the original paper's recommendations (8 queues;
+// lifetime on the order of the cache's temporal distance — we use
+// 2×capacity accesses). The history queue remembers 4×capacity evicted
+// blocks.
+func NewMQ(capacity int) *MQ {
+	if capacity < 0 {
+		panic("cache: negative capacity")
+	}
+	m := &MQ{
+		cap:      capacity,
+		numQ:     8,
+		lifeTime: int64(2*capacity) + 1,
+		items:    make(map[BlockID]*mqEntry, capacity),
+		out:      list.New(),
+		outMap:   map[BlockID]*list.Element{},
+		outCap:   4 * capacity,
+	}
+	m.queues = make([]*list.List, m.numQ)
+	for i := range m.queues {
+		m.queues[i] = list.New()
+	}
+	return m
+}
+
+// queueFor returns the queue index for a reference count: floor(log2(refs))
+// clamped to the top queue.
+func (m *MQ) queueFor(refs int64) int {
+	q := 0
+	for refs > 1 && q < m.numQ-1 {
+		refs >>= 1
+		q++
+	}
+	return q
+}
+
+// adjust demotes expired blocks: any queue head whose expire time passed
+// moves to the tail of the next lower queue with a fresh lifetime.
+func (m *MQ) adjust() {
+	for i := 1; i < m.numQ; i++ {
+		for m.queues[i].Len() > 0 {
+			e := m.queues[i].Front().Value.(*mqEntry)
+			if e.expire > m.now {
+				break
+			}
+			m.queues[i].Remove(e.elem)
+			e.level = i - 1
+			e.expire = m.now + m.lifeTime
+			e.elem = m.queues[i-1].PushBack(e)
+		}
+	}
+}
+
+// Access looks up block b; on a miss the block is inserted (restoring any
+// remembered reference count), evicting from the lowest non-empty queue
+// when full. Returns whether the access hit.
+func (m *MQ) Access(b BlockID) bool {
+	m.now++
+	m.adjust()
+	m.stats.Accesses++
+	if e, ok := m.items[b]; ok {
+		m.stats.Hits++
+		e.refs++
+		m.queues[e.level].Remove(e.elem)
+		e.level = m.queueFor(e.refs)
+		e.expire = m.now + m.lifeTime
+		e.elem = m.queues[e.level].PushBack(e)
+		return true
+	}
+	m.stats.Misses++
+	m.insert(b)
+	return false
+}
+
+// Contains reports residency without touching state.
+func (m *MQ) Contains(b BlockID) bool {
+	_, ok := m.items[b]
+	return ok
+}
+
+func (m *MQ) insert(b BlockID) {
+	if m.cap == 0 {
+		return
+	}
+	refs := int64(1)
+	if el, ok := m.outMap[b]; ok {
+		refs = el.Value.(*mqHist).refs + 1
+		m.out.Remove(el)
+		delete(m.outMap, b)
+	}
+	if len(m.items) >= m.cap {
+		m.evict()
+	}
+	e := &mqEntry{id: b, refs: refs, expire: m.now + m.lifeTime}
+	e.level = m.queueFor(refs)
+	e.elem = m.queues[e.level].PushBack(e)
+	m.items[b] = e
+}
+
+type mqHist struct {
+	id   BlockID
+	refs int64
+}
+
+func (m *MQ) evict() {
+	for i := 0; i < m.numQ; i++ {
+		if m.queues[i].Len() == 0 {
+			continue
+		}
+		e := m.queues[i].Front().Value.(*mqEntry)
+		m.queues[i].Remove(e.elem)
+		delete(m.items, e.id)
+		m.stats.Evictions++
+		// Remember the evicted block's frequency in Qout.
+		if m.outCap > 0 {
+			if m.out.Len() >= m.outCap {
+				old := m.out.Front()
+				delete(m.outMap, old.Value.(*mqHist).id)
+				m.out.Remove(old)
+			}
+			m.outMap[e.id] = m.out.PushBack(&mqHist{id: e.id, refs: e.refs})
+		}
+		return
+	}
+}
+
+// Len returns the resident block count.
+func (m *MQ) Len() int { return len(m.items) }
+
+// Capacity returns the maximum block count.
+func (m *MQ) Capacity() int { return m.cap }
+
+// Stats returns the accumulated counters.
+func (m *MQ) Stats() Stats { return m.stats }
+
+// Reset clears contents, history and counters.
+func (m *MQ) Reset() {
+	for i := range m.queues {
+		m.queues[i] = list.New()
+	}
+	m.items = make(map[BlockID]*mqEntry, m.cap)
+	m.out = list.New()
+	m.outMap = map[BlockID]*list.Element{}
+	m.now = 0
+	m.stats = Stats{}
+}
+
+// InclusiveMQ pairs LRU I/O caches with MQ storage caches — the
+// configuration the MQ paper targets (MQ at the second level, where
+// temporal locality is filtered by the level above).
+type InclusiveMQ struct {
+	io []*LRU
+	st []*MQ
+}
+
+// NewInclusiveMQ builds the policy.
+func NewInclusiveMQ(nIO, nStorage, capIO, capStorage int) *InclusiveMQ {
+	m := &InclusiveMQ{}
+	for i := 0; i < nIO; i++ {
+		m.io = append(m.io, NewLRU(capIO))
+	}
+	for i := 0; i < nStorage; i++ {
+		m.st = append(m.st, NewMQ(capStorage))
+	}
+	return m
+}
+
+// Read implements Manager.
+func (m *InclusiveMQ) Read(io, st int, b BlockID) Outcome {
+	if m.io[io].Access(b) {
+		return Outcome{Level: HitIO}
+	}
+	if m.st[st].Access(b) {
+		return Outcome{Level: HitStorage}
+	}
+	return Outcome{Level: HitDisk}
+}
+
+// PrefetchStorage implements Prefetcher.
+func (m *InclusiveMQ) PrefetchStorage(st int, b BlockID) bool {
+	if m.st[st].Contains(b) {
+		return false
+	}
+	m.st[st].insert(b)
+	return true
+}
+
+// Name implements Manager.
+func (m *InclusiveMQ) Name() string { return "MQ" }
+
+// IOStats implements Manager.
+func (m *InclusiveMQ) IOStats() Stats { return aggregate(m.io) }
+
+// StorageStats implements Manager.
+func (m *InclusiveMQ) StorageStats() Stats {
+	var s Stats
+	for _, c := range m.st {
+		s.Add(c.Stats())
+	}
+	return s
+}
+
+// Reset implements Manager.
+func (m *InclusiveMQ) Reset() {
+	for _, c := range m.io {
+		c.Reset()
+	}
+	for _, c := range m.st {
+		c.Reset()
+	}
+}
+
+var _ Manager = (*InclusiveMQ)(nil)

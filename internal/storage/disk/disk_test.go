@@ -1,0 +1,85 @@
+package disk
+
+import "testing"
+
+func TestParamsDerived(t *testing.T) {
+	p := DefaultParams()
+	if p.RotationalNS() != 3_000_000 {
+		t.Errorf("rotational = %d, want 3 ms at 10k RPM", p.RotationalNS())
+	}
+	if p.PositionedServiceNS() != 5_000_000+3_000_000+1_280_000 {
+		t.Errorf("positioned service = %d", p.PositionedServiceNS())
+	}
+	if (Params{RPM: 0, TransferNSPerBlock: 1}).RotationalNS() != 0 {
+		t.Error("zero RPM should yield zero rotational delay")
+	}
+}
+
+func TestReadRandomThenSequential(t *testing.T) {
+	d := New(DefaultParams())
+	pos := DefaultParams().PositionedServiceNS()
+	xfer := DefaultParams().TransferNSPerBlock
+
+	done := d.Read(0, 0, 10)
+	if done != pos {
+		t.Errorf("first read done at %d, want %d", done, pos)
+	}
+	// Next block of the same file: sequential.
+	done = d.Read(done, 0, 11)
+	if done != pos+xfer {
+		t.Errorf("sequential read done at %d, want %d", done, pos+xfer)
+	}
+	if d.SeqReads() != 1 || d.Reads() != 2 {
+		t.Errorf("reads=%d seq=%d", d.Reads(), d.SeqReads())
+	}
+	// Jump: positioned again.
+	done2 := d.Read(done, 0, 99)
+	if done2 != done+pos {
+		t.Errorf("random read done at %d, want %d", done2, done+pos)
+	}
+	// Same next-block number but different file: positioned.
+	done3 := d.Read(done2, 1, 100)
+	if done3 != done2+pos {
+		t.Error("cross-file read must not take the sequential path")
+	}
+}
+
+func TestReadQueueing(t *testing.T) {
+	d := New(DefaultParams())
+	pos := DefaultParams().PositionedServiceNS()
+	// Two requests arriving at time 0 serialize.
+	d1 := d.Read(0, 0, 1)
+	d2 := d.Read(0, 0, 50)
+	if d1 != pos || d2 != 2*pos {
+		t.Errorf("done times %d, %d; want %d, %d", d1, d2, pos, 2*pos)
+	}
+	// A late arrival after the queue drains starts immediately.
+	d3 := d.Read(10*pos, 0, 99)
+	if d3 != 11*pos {
+		t.Errorf("late arrival done at %d, want %d", d3, 11*pos)
+	}
+	if d.BusyNS() != 3*pos {
+		t.Errorf("busy = %d, want %d", d.BusyNS(), 3*pos)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(DefaultParams())
+	d.Read(0, 0, 1)
+	d.Reset()
+	if d.Reads() != 0 || d.BusyNS() != 0 {
+		t.Error("reset incomplete")
+	}
+	if done := d.Read(0, 0, 2); done != DefaultParams().PositionedServiceNS() {
+		t.Error("sequential state survived reset")
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Params{})
+}

@@ -1,0 +1,38 @@
+// Package stripe models the PVFS-style parallel file system of the
+// evaluation platform: each file's blocks are striped round-robin across
+// all storage nodes, with the stripe unit equal to the cache data block
+// (as in the paper's setup, Table 1).
+package stripe
+
+import "fmt"
+
+// Striping maps file blocks to storage nodes.
+type Striping struct {
+	nodes int
+}
+
+// New returns a round-robin striping over n storage nodes.
+func New(n int) Striping {
+	if n < 1 {
+		panic(fmt.Sprintf("stripe: need at least one storage node, got %d", n))
+	}
+	return Striping{nodes: n}
+}
+
+// Nodes returns the storage node count.
+func (s Striping) Nodes() int { return s.nodes }
+
+// NodeOf returns the storage node owning block b of any file.
+func (s Striping) NodeOf(block int64) int {
+	if block < 0 {
+		panic("stripe: negative block")
+	}
+	return int(block % int64(s.nodes))
+}
+
+// LocalIndex returns the block's index within its storage node's local
+// sequence, useful for modeling on-node contiguity: consecutive blocks of
+// the same stripe column are adjacent on the node's disk.
+func (s Striping) LocalIndex(block int64) int64 {
+	return block / int64(s.nodes)
+}

@@ -1,0 +1,46 @@
+package stripe
+
+import "testing"
+
+func TestRoundRobin(t *testing.T) {
+	s := New(4)
+	if s.Nodes() != 4 {
+		t.Errorf("Nodes = %d", s.Nodes())
+	}
+	for b := int64(0); b < 16; b++ {
+		if got := s.NodeOf(b); got != int(b%4) {
+			t.Errorf("NodeOf(%d) = %d, want %d", b, got, b%4)
+		}
+	}
+	if s.LocalIndex(9) != 2 {
+		t.Errorf("LocalIndex(9) = %d, want 2", s.LocalIndex(9))
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	s := New(1)
+	for b := int64(0); b < 5; b++ {
+		if s.NodeOf(b) != 0 || s.LocalIndex(b) != b {
+			t.Error("single-node striping wrong")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("New(0) should panic")
+			}
+		}()
+		New(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative block should panic")
+			}
+		}()
+		New(2).NodeOf(-1)
+	}()
+}

@@ -1,0 +1,153 @@
+// Package trace turns a parallelized program plus a set of file layouts
+// into per-thread block-access streams — the input of the storage
+// simulator. Consecutive accesses by one thread to the same block are
+// coalesced (one cache/network transaction moves a whole block).
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"flopt/internal/layout"
+	"flopt/internal/linalg"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+)
+
+// Access is one block-granular read/write request. Elems counts how many
+// element touches were coalesced into it — the simulator charges
+// element-proportional compute cost from it, keeping CPU time independent
+// of the file layout.
+type Access struct {
+	File  int32
+	Block int64
+	Elems int32
+}
+
+// FileTable assigns stable small integer ids to the program's arrays (one
+// file per array, as in the paper) and records their layouts.
+type FileTable struct {
+	Names   []string
+	Layouts []layout.Layout
+	index   map[string]int32
+}
+
+// NewFileTable builds the table for program p with the given layouts
+// (keyed by array name; every array needs one).
+func NewFileTable(p *poly.Program, layouts map[string]layout.Layout) (*FileTable, error) {
+	ft := &FileTable{index: make(map[string]int32, len(p.Arrays))}
+	names := make([]string, 0, len(p.Arrays))
+	for _, a := range p.Arrays {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		l, ok := layouts[n]
+		if !ok {
+			return nil, fmt.Errorf("trace: no layout for array %s", n)
+		}
+		ft.index[n] = int32(len(ft.Names))
+		ft.Names = append(ft.Names, n)
+		ft.Layouts = append(ft.Layouts, l)
+	}
+	return ft, nil
+}
+
+// ID returns the file id of an array name; it panics on unknown names.
+func (ft *FileTable) ID(name string) int32 {
+	id, ok := ft.index[name]
+	if !ok {
+		panic(fmt.Sprintf("trace: unknown array %q", name))
+	}
+	return id
+}
+
+// Blocks returns the file length in blocks for file id under blockElems.
+func (ft *FileTable) Blocks(id int32, blockElems int64) int64 {
+	return (ft.Layouts[id].SizeElems() + blockElems - 1) / blockElems
+}
+
+// NestTrace holds the per-thread access streams of one loop nest. Threads
+// with no work have empty streams.
+type NestTrace struct {
+	Streams [][]Access
+}
+
+// TotalAccesses sums stream lengths.
+func (nt *NestTrace) TotalAccesses() int64 {
+	var n int64
+	for _, s := range nt.Streams {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// TotalElems sums the element touches across all streams; it is invariant
+// under layout changes (only the grouping into blocks varies).
+func (nt *NestTrace) TotalElems() int64 {
+	var n int64
+	for _, s := range nt.Streams {
+		for _, a := range s {
+			n += int64(a.Elems)
+		}
+	}
+	return n
+}
+
+// Generate produces the access streams of every nest of p, in program
+// order, under the given plans and layouts.
+func Generate(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
+	ft *FileTable, blockElems int64, threads int) ([]*NestTrace, error) {
+	if blockElems < 1 {
+		return nil, fmt.Errorf("trace: blockElems must be ≥ 1")
+	}
+	var out []*NestTrace
+	for ni, n := range p.Nests {
+		plan := plans[n]
+		if plan == nil {
+			return nil, fmt.Errorf("trace: nest %d has no plan", ni)
+		}
+		nt := &NestTrace{Streams: make([][]Access, threads)}
+		// Per-ref scratch and resolved file/layout.
+		type refInfo struct {
+			ref  *poly.Reference
+			file int32
+			lay  layout.Layout
+			dst  linalg.Vec
+		}
+		infos := make([]refInfo, len(n.Refs))
+		for ri, r := range n.Refs {
+			id := ft.ID(r.Array.Name)
+			infos[ri] = refInfo{ref: r, file: id, lay: ft.Layouts[id], dst: make(linalg.Vec, r.Array.Rank())}
+		}
+		var genErr error
+		n.ForEach(func(iv linalg.Vec) {
+			if genErr != nil {
+				return
+			}
+			th := plan.ThreadOf(iv[plan.U])
+			stream := nt.Streams[th]
+			for ri := range infos {
+				inf := &infos[ri]
+				inf.ref.EvalInto(iv, inf.dst)
+				if !inf.ref.Array.Contains(inf.dst) {
+					genErr = fmt.Errorf("trace: nest %d ref %s accesses %v outside %v at iteration %v",
+						ni, inf.ref, inf.dst, inf.ref.Array.Dims, iv)
+					return
+				}
+				blk := inf.lay.Offset(inf.dst) / blockElems
+				if ln := len(stream); ln > 0 && stream[ln-1].File == inf.file && stream[ln-1].Block == blk {
+					stream[ln-1].Elems++ // coalesce consecutive same-block accesses
+					continue
+				}
+				stream = append(stream, Access{File: inf.file, Block: blk, Elems: 1})
+			}
+			nt.Streams[th] = stream
+		})
+		if genErr != nil {
+			return nil, genErr
+		}
+		out = append(out, nt)
+	}
+	return out, nil
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"testing"
+
+	"flopt/internal/lang"
+	"flopt/internal/layout"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+)
+
+func setup(t *testing.T, src string, threads int) (*poly.Program, map[*poly.LoopNest]*parallel.Plan, *FileTable) {
+	t.Helper()
+	p, err := lang.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := make(map[*poly.LoopNest]*parallel.Plan)
+	for _, n := range p.Nests {
+		plan, err := parallel.NewPlan(n, threads, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[n] = plan
+	}
+	ft, err := NewFileTable(p, layout.DefaultLayouts(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, plans, ft
+}
+
+const rowSrc = `
+array A[16][16];
+parallel(i) for i = 0 to 15 { for j = 0 to 15 { read A[i][j]; } }
+`
+
+func TestGenerateRowMajorCoalesces(t *testing.T) {
+	p, plans, ft := setup(t, rowSrc, 4)
+	traces, err := Generate(p, plans, ft, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 {
+		t.Fatalf("nests = %d", len(traces))
+	}
+	nt := traces[0]
+	// Each thread reads 4 rows of 16 elements = 64 elements = 8 blocks
+	// after coalescing (block = 8 elements, rows are contiguous).
+	for th, s := range nt.Streams {
+		if len(s) != 8 {
+			t.Errorf("thread %d stream length = %d, want 8", th, len(s))
+		}
+	}
+	if nt.TotalAccesses() != 32 {
+		t.Errorf("total = %d, want 32", nt.TotalAccesses())
+	}
+	// Thread 1 owns rows 4..7 ⇒ blocks 8..15 of file 0.
+	want := int64(8)
+	for _, a := range nt.Streams[1] {
+		if a.File != 0 || a.Block != want {
+			t.Errorf("thread 1 access = %+v, want block %d", a, want)
+		}
+		want++
+	}
+}
+
+func TestGenerateColumnAccessDoesNotCoalesce(t *testing.T) {
+	src := `
+array B[16][16];
+parallel(i) for i = 0 to 15 { for j = 0 to 15 { read B[j][i]; } }
+`
+	p, plans, ft := setup(t, src, 4)
+	traces, err := Generate(p, plans, ft, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column access under row-major: every element is a fresh block
+	// (stride 16 > block 8): 4 columns × 16 rows = 64 accesses per thread.
+	for th, s := range traces[0].Streams {
+		if len(s) != 64 {
+			t.Errorf("thread %d stream = %d accesses, want 64", th, len(s))
+		}
+	}
+}
+
+func TestGenerateMultiRefOrder(t *testing.T) {
+	src := `
+array A[4][4];
+array B[4][4];
+parallel(i) for i = 0 to 3 { for j = 0 to 3 { read A[i][j]; write B[i][j]; } }
+`
+	p, plans, ft := setup(t, src, 1)
+	traces, err := Generate(p, plans, ft, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := traces[0].Streams[0]
+	// Per iteration the A access then the B access; A and B blocks
+	// alternate (different files prevent coalescing).
+	if len(s) < 2 || s[0].File == s[1].File {
+		t.Fatalf("stream = %v", s[:2])
+	}
+	aID, bID := ft.ID("A"), ft.ID("B")
+	if s[0].File != aID || s[1].File != bID {
+		t.Errorf("first accesses = %+v, %+v", s[0], s[1])
+	}
+}
+
+func TestGenerateOptimizedLayoutChangesBlocks(t *testing.T) {
+	src := `
+array B[32][32];
+parallel(i) for i = 0 to 31 { for j = 0 to 31 { read B[j][i]; } }
+`
+	p, err := lang.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := layout.Hierarchy{Levels: []layout.Level{
+		{Name: "SC1", CapacityElems: 64, Fanout: 2},
+		{Name: "SC2", CapacityElems: 256, Fanout: 2},
+	}}
+	res, err := layout.Optimize(p, layout.Options{Hierarchy: h, BlockElems: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := NewFileTable(p, res.Layouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := Generate(p, res.Plans, ft, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimized layout makes each thread's column sweep contiguous:
+	// 8 columns × 32 rows = 256 elements = 32 blocks per thread.
+	for th, s := range traces[0].Streams {
+		if len(s) != 32 {
+			t.Errorf("thread %d accesses = %d, want 32", th, len(s))
+		}
+	}
+}
+
+func TestGenerateOutOfBounds(t *testing.T) {
+	src := `
+array A[4][4];
+parallel(i) for i = 0 to 4 { for j = 0 to 3 { read A[i][j]; } }
+`
+	p, plans, ft := setup(t, src, 2)
+	if _, err := Generate(p, plans, ft, 4, 2); err == nil {
+		t.Error("out-of-bounds access not reported")
+	}
+}
+
+func TestGenerateBadArgs(t *testing.T) {
+	p, plans, ft := setup(t, rowSrc, 2)
+	if _, err := Generate(p, plans, ft, 0, 2); err == nil {
+		t.Error("blockElems 0 accepted")
+	}
+	if _, err := Generate(p, map[*poly.LoopNest]*parallel.Plan{}, ft, 4, 2); err == nil {
+		t.Error("missing plan accepted")
+	}
+	_ = plans
+}
+
+func TestFileTable(t *testing.T) {
+	p, _, ft := setup(t, `
+array Z[8];
+array A[8];
+for i = 0 to 7 { read A[i]; read Z[i]; }
+`, 1)
+	_ = p
+	// Deterministic (sorted) ids.
+	if ft.ID("A") != 0 || ft.ID("Z") != 1 {
+		t.Errorf("ids: A=%d Z=%d", ft.ID("A"), ft.ID("Z"))
+	}
+	if ft.Blocks(0, 3) != 3 { // 8 elements / 3 per block → 3 blocks
+		t.Errorf("Blocks = %d", ft.Blocks(0, 3))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown name should panic")
+			}
+		}()
+		ft.ID("nope")
+	}()
+}
+
+func TestNewFileTableMissingLayout(t *testing.T) {
+	p, err := lang.Parse("t", rowSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileTable(p, map[string]layout.Layout{}); err == nil {
+		t.Error("missing layout accepted")
+	}
+}
+
+func TestElemsCounting(t *testing.T) {
+	// A single-ref row scan coalesces whole blocks into one access each;
+	// the Elems counter must preserve the total element-touch count.
+	src := `
+array A[4][16];
+parallel(i) for i = 0 to 3 {
+    for j = 0 to 15 {
+        read A[i][j];
+    }
+}
+`
+	p, plans, ft := setup(t, src, 2)
+	traces, err := Generate(p, plans, ft, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := traces[0]
+	var elems int64
+	for _, s := range nt.Streams {
+		for _, a := range s {
+			if a.Elems < 1 {
+				t.Fatalf("access with Elems = %d", a.Elems)
+			}
+			elems += int64(a.Elems)
+		}
+	}
+	// Total element touches = 4×16 = 64 regardless of coalescing.
+	if elems != 64 {
+		t.Errorf("total elems = %d, want 64", elems)
+	}
+	if nt.TotalElems() != 64 {
+		t.Errorf("TotalElems = %d", nt.TotalElems())
+	}
+	// Row scan with 8-element blocks: 16 elements per row = 2 blocks,
+	// so each thread's 2 rows yield 4 accesses of 8 coalesced elements.
+	for th, s := range nt.Streams {
+		if len(s) != 4 {
+			t.Errorf("thread %d accesses = %d, want 4", th, len(s))
+		}
+		for _, a := range s {
+			if a.Elems != 8 {
+				t.Errorf("thread %d access elems = %d, want 8", th, a.Elems)
+			}
+		}
+	}
+}
