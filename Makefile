@@ -1,0 +1,30 @@
+# Verify tiers for the flopt reproduction.
+#
+#   make verify        — tier-1 (build + test) plus vet and the race tier
+#                        that keeps the parallel harness race-clean
+#   make bench-harness — measure the headline harness benchmarks and emit
+#                        their wall-clock as JSON (see BENCH_harness.json)
+
+GO ?= go
+
+.PHONY: build vet test race verify bench bench-harness
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+bench:
+	$(GO) test -run '^$$' -bench=. -benchmem .
+
+bench-harness:
+	./scripts/bench_harness.sh

@@ -6,14 +6,19 @@
 //	exptab -exp all
 //	exptab -exp table2,fig7a -v
 //	exptab -exp fig7c -io-cache 128 -storage-cache 256
+//	exptab -exp all -parallel 8      # 8 experiment/trace workers
+//	exptab -exp all -parallel 1      # fully serial (reference path)
 //
 // Experiments: table1, table2, table3, fig7a … fig7h, optstats, all.
+// The emitted tables are bit-identical for every -parallel value; only
+// wall-clock changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,13 +29,24 @@ import (
 func main() {
 	var (
 		expList   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig7a..fig7h,optstats,all")
-		verbose   = flag.Bool("v", false, "print per-run progress")
+		verbose   = flag.Bool("v", false, "print per-run progress and per-table wall-clock")
 		policy    = flag.String("policy", "lru", "cache policy for the base experiments: lru, demote, karma")
 		ioCache   = flag.Int("io-cache", 0, "override I/O cache blocks")
 		stCache   = flag.Int("storage-cache", 0, "override storage cache blocks")
 		blockSize = flag.Int64("block", 0, "override block size in elements")
+		parallelN = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment cells and trace generation (1 = serial)")
 	)
 	flag.Parse()
+
+	if *parallelN < 1 {
+		fmt.Fprintln(os.Stderr, "exptab: -parallel must be ≥ 1")
+		os.Exit(1)
+	}
+	// Cap the scheduler to the requested width so -parallel 1 restores a
+	// fully serial process even for code that sizes itself off GOMAXPROCS.
+	if *parallelN < runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(*parallelN)
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Policy = *policy
@@ -50,6 +66,7 @@ func main() {
 
 	runner := exp.NewRunner()
 	runner.Verbose = *verbose
+	runner.Parallel = *parallelN
 
 	type expFn func(*exp.Runner, sim.Config) (*exp.Table, error)
 	table := map[string]expFn{
@@ -92,6 +109,7 @@ func main() {
 		want[name] = true
 	}
 
+	total := time.Now()
 	for _, name := range order {
 		if !want[name] {
 			continue
@@ -108,7 +126,10 @@ func main() {
 		}
 		fmt.Println(t.Render())
 		if *verbose {
-			fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("[%s took %v with %d workers]\n\n", name, time.Since(start).Round(time.Millisecond), *parallelN)
 		}
+	}
+	if *verbose {
+		fmt.Printf("[all requested experiments took %v]\n", time.Since(total).Round(time.Millisecond))
 	}
 }

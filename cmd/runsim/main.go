@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"flopt"
 	"flopt/internal/exp"
@@ -21,15 +22,26 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "built-in benchmark name")
-		src      = flag.String("src", "", "mini-language source file")
-		scheme   = flag.String("scheme", "default", "layout scheme: default, inter, inter-io, inter-storage, reindex, compmap")
-		policy   = flag.String("policy", "lru", "cache policy: lru, demote, karma")
-		ioCache  = flag.Int("io-cache", 0, "override I/O cache blocks")
-		stCache  = flag.Int("storage-cache", 0, "override storage cache blocks")
-		block    = flag.Int64("block", 0, "override block size in elements")
+		workload  = flag.String("workload", "", "built-in benchmark name")
+		src       = flag.String("src", "", "mini-language source file")
+		scheme    = flag.String("scheme", "default", "layout scheme: default, inter, inter-io, inter-storage, reindex, compmap")
+		policy    = flag.String("policy", "lru", "cache policy: lru, demote, karma")
+		ioCache   = flag.Int("io-cache", 0, "override I/O cache blocks")
+		stCache   = flag.Int("storage-cache", 0, "override storage cache blocks")
+		block     = flag.Int64("block", 0, "override block size in elements")
+		parallelN = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for trace generation (1 = serial)")
 	)
 	flag.Parse()
+
+	if *parallelN < 1 {
+		fail(fmt.Errorf("-parallel must be ≥ 1"))
+	}
+	// Cap the scheduler so -parallel 1 restores a fully serial process
+	// even for the -src path, whose trace generation sizes itself off
+	// GOMAXPROCS.
+	if *parallelN < runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(*parallelN)
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.Policy = *policy
@@ -47,6 +59,7 @@ func main() {
 	switch {
 	case *workload != "":
 		runner := exp.NewRunner()
+		runner.Parallel = *parallelN
 		var err error
 		rep, err = runner.Run(*workload, cfg, exp.Scheme(*scheme))
 		if err != nil {

@@ -50,14 +50,17 @@ func Table2(r *Runner, cfg sim.Config) (*Table, error) {
 		Columns: []string{"io-miss%", "st-miss%", "exec(s)"},
 		Formats: []string{"%.1f", "%.1f", "%.2f"},
 	}
-	for _, app := range Apps() {
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
 		rep, err := r.Run(app, cfg, SchemeDefault)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, Row{App: app, Values: []float64{
+		return []float64{
 			100 * rep.IOMissRate(), 100 * rep.StorageMissRate(), float64(rep.ExecTimeUS) / 1e6,
-		}})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -70,7 +73,7 @@ func Table3(r *Runner, cfg sim.Config) (*Table, error) {
 		Columns: []string{"io", "storage"},
 		Note:    "miss-count ratio optimized/default; < 1 is better",
 	}
-	for _, app := range Apps() {
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
 		def, err := r.Run(app, cfg, SchemeDefault)
 		if err != nil {
 			return nil, err
@@ -79,10 +82,13 @@ func Table3(r *Runner, cfg sim.Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, Row{App: app, Values: []float64{
+		return []float64{
 			ratio(float64(opt.IO.Misses), float64(def.IO.Misses)),
 			ratio(float64(opt.Storage.Misses), float64(def.Storage.Misses)),
-		}})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -95,12 +101,15 @@ func Fig7a(r *Runner, cfg sim.Config) (*Table, error) {
 		Title:   "Fig 7(a): normalized execution time (inter-node / default)",
 		Columns: []string{"normalized"},
 	}
-	for _, app := range Apps() {
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
 		n, err := normalizedExec(r, cfg, app, SchemeInter)
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, Row{App: app, Values: []float64{n}})
+		return []float64{n}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -117,7 +126,7 @@ func Fig7b(r *Runner, cfg sim.Config) (*Table, error) {
 	for _, m := range mappings {
 		t.Columns = append(t.Columns, m.Name)
 	}
-	for _, app := range Apps() {
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
 		// All mappings normalize against the default execution (which
 		// uses the default thread placement), so the columns isolate the
 		// optimized run's sensitivity to thread placement.
@@ -125,7 +134,7 @@ func Fig7b(r *Runner, cfg sim.Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := Row{App: app}
+		vals := make([]float64, 0, len(mappings))
 		for i := range mappings {
 			c := cfg
 			c.Mapping = &mappings[i]
@@ -133,9 +142,12 @@ func Fig7b(r *Runner, cfg sim.Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Values = append(row.Values, ratio(float64(rep.ExecTimeUS), float64(def.ExecTimeUS)))
+			vals = append(vals, ratio(float64(rep.ExecTimeUS), float64(def.ExecTimeUS)))
 		}
-		t.Rows = append(t.Rows, row)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -157,8 +169,8 @@ func Fig7c(r *Runner, cfg sim.Config) (*Table, error) {
 		t.Columns = append(t.Columns, s.label)
 	}
 	t.Formats = repeatFormat("%.1f", len(scales))
-	for _, app := range Apps() {
-		row := Row{App: app}
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		vals := make([]float64, 0, len(scales))
 		for _, s := range scales {
 			c := cfg
 			c.IOCacheBlocks = cfg.IOCacheBlocks * s.num / s.den
@@ -173,9 +185,12 @@ func Fig7c(r *Runner, cfg sim.Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Values = append(row.Values, 100*(1-n))
+			vals = append(vals, 100*(1-n))
 		}
-		t.Rows = append(t.Rows, row)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -202,8 +217,8 @@ func Fig7d(r *Runner, cfg sim.Config) (*Table, error) {
 		t.Columns = append(t.Columns, c.label)
 	}
 	t.Formats = repeatFormat("%.1f", len(configs))
-	for _, app := range Apps() {
-		row := Row{App: app}
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		vals := make([]float64, 0, len(configs))
 		for _, nc := range configs {
 			c := cfg
 			c.IONodes, c.StorageNodes = nc.io, nc.storage
@@ -211,9 +226,12 @@ func Fig7d(r *Runner, cfg sim.Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Values = append(row.Values, 100*(1-n))
+			vals = append(vals, 100*(1-n))
 		}
-		t.Rows = append(t.Rows, row)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -234,8 +252,8 @@ func Fig7e(r *Runner, cfg sim.Config) (*Table, error) {
 		t.Columns = append(t.Columns, f.label)
 	}
 	t.Formats = repeatFormat("%.1f", len(factors))
-	for _, app := range Apps() {
-		row := Row{App: app}
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		vals := make([]float64, 0, len(factors))
 		for _, f := range factors {
 			c := cfg
 			c.BlockElems = cfg.BlockElems * f.mul / f.div
@@ -253,9 +271,12 @@ func Fig7e(r *Runner, cfg sim.Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Values = append(row.Values, 100*(1-n))
+			vals = append(vals, 100*(1-n))
 		}
-		t.Rows = append(t.Rows, row)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -268,16 +289,11 @@ func Fig7f(r *Runner, cfg sim.Config) (*Table, error) {
 		Title:   "Fig 7(f): normalized execution time by targeted layer(s)",
 		Columns: []string{"io-only", "storage-only", "both"},
 	}
-	for _, app := range Apps() {
-		row := Row{App: app}
-		for _, s := range []Scheme{SchemeInterIO, SchemeInterStorage, SchemeInter} {
-			n, err := normalizedExec(r, cfg, app, s)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, n)
-		}
-		t.Rows = append(t.Rows, row)
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		return schemeColumns(r, cfg, app, []Scheme{SchemeInterIO, SchemeInterStorage, SchemeInter})
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -291,16 +307,11 @@ func Fig7g(r *Runner, cfg sim.Config) (*Table, error) {
 		Title:   "Fig 7(g): normalized execution time vs prior schemes",
 		Columns: []string{"compmap[26]", "reindex[27]", "inter"},
 	}
-	for _, app := range Apps() {
-		row := Row{App: app}
-		for _, s := range []Scheme{SchemeCompMap, SchemeReindex, SchemeInter} {
-			n, err := normalizedExec(r, cfg, app, s)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, n)
-		}
-		t.Rows = append(t.Rows, row)
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		return schemeColumns(r, cfg, app, []Scheme{SchemeCompMap, SchemeReindex, SchemeInter})
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -315,8 +326,8 @@ func Fig7h(r *Runner, cfg sim.Config) (*Table, error) {
 		Title:   "Fig 7(h): normalized execution time under cache policies",
 		Columns: []string{"LRU", "KARMA", "DEMOTE-LRU"},
 	}
-	for _, app := range Apps() {
-		row := Row{App: app}
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		vals := make([]float64, 0, 3)
 		for _, pol := range []string{"lru", "karma", "demote"} {
 			c := cfg
 			c.Policy = pol
@@ -324,9 +335,12 @@ func Fig7h(r *Runner, cfg sim.Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Values = append(row.Values, n)
+			vals = append(vals, n)
 		}
-		t.Rows = append(t.Rows, row)
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -340,18 +354,23 @@ func OptStats(r *Runner, cfg sim.Config) (*Table, error) {
 		Columns: []string{"arrays", "optimized", "fraction"},
 		Formats: []string{"%.0f", "%.0f", "%.2f"},
 	}
-	var optT, allT int
-	for _, app := range Apps() {
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
 		res, err := r.OptResult(app, cfg)
 		if err != nil {
 			return nil, err
 		}
 		opt, total := res.OptimizedCount()
-		optT += opt
-		allT += total
-		t.Rows = append(t.Rows, Row{App: app, Values: []float64{
+		return []float64{
 			float64(total), float64(opt), float64(opt) / float64(total),
-		}})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var optT, allT int
+	for _, row := range t.Rows {
+		allT += int(row.Values[0])
+		optT += int(row.Values[1])
 	}
 	t.Note = fmt.Sprintf("overall: %d/%d = %.1f%%", optT, allT, 100*float64(optT)/float64(allT))
 	return t, nil
@@ -366,16 +385,11 @@ func Ablations(r *Runner, cfg sim.Config) (*Table, error) {
 		Columns: []string{"inter", "unweighted-eq5", "flat-pattern"},
 		Note:    "unweighted-eq5: first-reference conflict order; flat-pattern: per-thread slabs, no capacity-aware nesting",
 	}
-	for _, app := range Apps() {
-		row := Row{App: app}
-		for _, s := range []Scheme{SchemeInter, SchemeInterUnweighted, SchemeInterFlat} {
-			n, err := normalizedExec(r, cfg, app, s)
-			if err != nil {
-				return nil, err
-			}
-			row.Values = append(row.Values, n)
-		}
-		t.Rows = append(t.Rows, row)
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		return schemeColumns(r, cfg, app, []Scheme{SchemeInter, SchemeInterUnweighted, SchemeInterFlat})
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -396,7 +410,7 @@ func Prefetch(r *Runner, cfg sim.Config) (*Table, error) {
 			"cache scale speculation rarely survives the demand churn, so readahead mostly hurts " +
 			"the scattered default layout (widening the improvement) rather than boosting the optimized one",
 	}
-	for _, app := range Apps() {
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
 		noRA := cfg
 		noRA.ReadaheadBlocks = 0
 		withRA := cfg
@@ -418,11 +432,14 @@ func Prefetch(r *Runner, cfg sim.Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, Row{App: app, Values: []float64{
+		return []float64{
 			100 * (1 - ratio(float64(optNo.ExecTimeUS), float64(defNo.ExecTimeUS))),
 			100 * (1 - ratio(float64(optRA.ExecTimeUS), float64(defRA.ExecTimeUS))),
 			100 * (1 - ratio(float64(optRA.ExecTimeUS), float64(optNo.ExecTimeUS))),
-		}})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.FillAverages()
 	return t, nil
@@ -453,6 +470,19 @@ func normalizedExec(r *Runner, cfg sim.Config, app string, scheme Scheme) (float
 		return 0, err
 	}
 	return ratio(float64(rep.ExecTimeUS), float64(def.ExecTimeUS)), nil
+}
+
+// schemeColumns returns one normalized execution time per scheme for app.
+func schemeColumns(r *Runner, cfg sim.Config, app string, schemes []Scheme) ([]float64, error) {
+	vals := make([]float64, 0, len(schemes))
+	for _, s := range schemes {
+		n, err := normalizedExec(r, cfg, app, s)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, n)
+	}
+	return vals, nil
 }
 
 func repeatFormat(f string, n int) []string {

@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"flopt/internal/sim"
+)
+
+// assertTablesIdentical compares two tables cell-for-cell with exact
+// float equality — the parallel harness must be bit-identical to serial.
+func assertTablesIdentical(t *testing.T, serial, par *Table) {
+	t.Helper()
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row count: serial %d, parallel %d", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		if serial.Rows[i].App != par.Rows[i].App {
+			t.Fatalf("row %d app: serial %q, parallel %q", i, serial.Rows[i].App, par.Rows[i].App)
+		}
+		for c := range serial.Rows[i].Values {
+			sv, pv := serial.Rows[i].Values[c], par.Rows[i].Values[c]
+			if sv != pv {
+				t.Errorf("cell (%s, col %d): serial %v, parallel %v", serial.Rows[i].App, c, sv, pv)
+			}
+		}
+	}
+	for c := range serial.Average {
+		if serial.Average[c] != par.Average[c] {
+			t.Errorf("average col %d: serial %v, parallel %v", c, serial.Average[c], par.Average[c])
+		}
+	}
+}
+
+// TestParallelSerialIdenticalTables proves the determinism guarantee: a
+// table generated with Parallel=1 and Parallel=8 is cell-for-cell
+// identical. Short mode restricts the grid to four applications; the full
+// run regenerates Table 2 both ways.
+func TestParallelSerialIdenticalTables(t *testing.T) {
+	apps := Apps()
+	if testing.Short() {
+		apps = apps[:4]
+	}
+	cfg := sim.DefaultConfig()
+	build := func(par int) *Table {
+		r := NewRunner()
+		r.Parallel = par
+		tab := &Table{Columns: []string{"io-miss%", "st-miss%", "exec(s)"}}
+		err := buildRows(r, tab, apps, func(app string) ([]float64, error) {
+			rep, err := r.Run(app, cfg, SchemeDefault)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{
+				100 * rep.IOMissRate(), 100 * rep.StorageMissRate(), float64(rep.ExecTimeUS) / 1e6,
+			}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.FillAverages()
+		return tab
+	}
+	assertTablesIdentical(t, build(1), build(8))
+}
+
+// TestRunnerConcurrentRuns exercises Runner.Run from many goroutines at
+// once (the -race companion of the worker pool): every concurrent repeat
+// of the same (app, scheme) cell must report the same execution time, and
+// the singleflight cache must hold one preparation per key.
+func TestRunnerConcurrentRuns(t *testing.T) {
+	r := NewRunner()
+	cfg := sim.DefaultConfig()
+	apps := []string{"swim", "qio"}
+	schemes := []Scheme{SchemeDefault, SchemeInter}
+
+	var mu sync.Mutex
+	got := map[string][]int64{}
+	var wg sync.WaitGroup
+	for round := 0; round < 2; round++ {
+		for _, app := range apps {
+			for _, s := range schemes {
+				wg.Add(1)
+				go func(app string, s Scheme) {
+					defer wg.Done()
+					rep, err := r.Run(app, cfg, s)
+					if err != nil {
+						t.Errorf("%s/%s: %v", app, s, err)
+						return
+					}
+					key := app + "/" + string(s)
+					mu.Lock()
+					got[key] = append(got[key], rep.ExecTimeUS)
+					mu.Unlock()
+				}(app, s)
+			}
+		}
+	}
+	wg.Wait()
+	for key, times := range got {
+		for _, exec := range times {
+			if exec != times[0] {
+				t.Errorf("%s: divergent concurrent results %v", key, times)
+			}
+		}
+	}
+	if n := r.cachedPreps(); n != len(apps)*len(schemes) {
+		t.Errorf("cached preps = %d, want %d (one per key, shared by singleflight)", n, len(apps)*len(schemes))
+	}
+}
+
+// TestPrepLRUEviction checks the bounded prep cache evicts the least
+// recently used completed entry — not a recently touched one, and never an
+// in-flight one.
+func TestPrepLRUEviction(t *testing.T) {
+	r := NewRunner()
+	key := func(i int) prepKey { return prepKey{app: fmt.Sprintf("a%d", i)} }
+	for i := 0; i < maxPreps; i++ {
+		r.seq++
+		r.preps[key(i)] = &prepCall{finished: true, lastUse: r.seq}
+	}
+	// Touch the oldest entry so a1 becomes the LRU victim.
+	r.seq++
+	r.preps[key(0)].lastUse = r.seq
+
+	r.mu.Lock()
+	r.evictLocked()
+	r.mu.Unlock()
+	if len(r.preps) != maxPreps-1 {
+		t.Fatalf("preps = %d after eviction, want %d", len(r.preps), maxPreps-1)
+	}
+	if _, ok := r.preps[key(1)]; ok {
+		t.Error("least recently used entry a1 survived eviction")
+	}
+	if _, ok := r.preps[key(0)]; !ok {
+		t.Error("recently touched entry a0 was evicted")
+	}
+
+	// In-flight preparations are never evicted: mark everything
+	// unfinished and check eviction leaves the cache alone.
+	for _, c := range r.preps {
+		c.finished = false
+	}
+	r.preps[key(1)] = &prepCall{finished: false, lastUse: 0}
+	r.mu.Lock()
+	r.evictLocked()
+	r.mu.Unlock()
+	if len(r.preps) != maxPreps {
+		t.Errorf("in-flight entries were evicted: preps = %d, want %d", len(r.preps), maxPreps)
+	}
+}
+
+// TestWorkersResolution pins the Parallel-field semantics the flags rely
+// on: 0 = GOMAXPROCS default, explicit values pass through.
+func TestWorkersResolution(t *testing.T) {
+	r := NewRunner()
+	if r.workers() < 1 {
+		t.Errorf("default workers = %d, want ≥ 1", r.workers())
+	}
+	r.Parallel = 1
+	if r.workers() != 1 {
+		t.Errorf("workers = %d with Parallel=1", r.workers())
+	}
+	r.Parallel = 7
+	if r.workers() != 7 {
+		t.Errorf("workers = %d with Parallel=7", r.workers())
+	}
+}
+
+// TestForEachIndexError checks the pool reports the lowest failing index's
+// error regardless of worker count.
+func TestForEachIndexError(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		err := forEachIndex(par, 8, func(i int) error {
+			if i >= 3 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Errorf("par=%d: err = %v, want fail-3", par, err)
+		}
+	}
+	if err := forEachIndex(4, 0, func(int) error { return nil }); err != nil {
+		t.Errorf("empty range: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"flopt/internal/baseline"
 	"flopt/internal/layout"
@@ -86,41 +87,79 @@ type prep struct {
 	optRes  *layout.Result    // only for inter schemes
 }
 
+// progCall is a singleflight slot for one parsed program: the first
+// goroutine to request an app computes it, later ones wait on done.
+type progCall struct {
+	done chan struct{}
+	p    *poly.Program
+	err  error
+}
+
+// prepCall is a singleflight slot for one preparation. lastUse is the
+// runner's recency clock value at the most recent request, driving LRU
+// eviction; finished flags that done is closed (both guarded by Runner.mu).
+type prepCall struct {
+	done     chan struct{}
+	pr       *prep
+	err      error
+	lastUse  uint64
+	finished bool
+}
+
 // Runner caches parsed programs and generated traces across experiment
 // sweeps (a cache-capacity sweep, for instance, reuses the same traces).
 // The prep cache is bounded: traces are large, and an unbounded cache
 // would exhaust memory over a long multi-figure run.
+//
+// A Runner is safe for concurrent use: the caches are singleflight-guarded,
+// so two workers preparing the same (app, scheme, platform) key share one
+// preparation instead of duplicating it.
 type Runner struct {
-	progs map[string]*poly.Program
-	preps map[prepKey]*prep
+	mu    sync.Mutex
+	progs map[string]*progCall
+	preps map[prepKey]*prepCall
+	seq   uint64 // recency clock for LRU eviction
+
+	// Parallel bounds the worker pool used by the table builders and by
+	// trace generation; 0 means runtime.GOMAXPROCS(0), 1 restores the
+	// fully serial path.
+	Parallel int
 	// Verbose enables progress lines on stdout.
 	Verbose bool
 }
 
-// maxPreps bounds the trace cache; beyond it the cache is cleared (coarse
-// but effective: sweeps touch preparations in clusters, so mid-sweep reuse
-// survives and cross-sweep buildup does not).
+// maxPreps bounds the trace cache; beyond it the least recently used
+// completed preparation is evicted (sweeps touch preparations in clusters,
+// so mid-sweep reuse survives while cross-sweep buildup does not).
 const maxPreps = 40
 
 // NewRunner returns an empty runner.
 func NewRunner() *Runner {
-	return &Runner{progs: map[string]*poly.Program{}, preps: map[prepKey]*prep{}}
+	return &Runner{progs: map[string]*progCall{}, preps: map[prepKey]*prepCall{}}
 }
 
 func (r *Runner) program(app string) (*poly.Program, error) {
-	if p, ok := r.progs[app]; ok {
-		return p, nil
+	r.mu.Lock()
+	if c, ok := r.progs[app]; ok {
+		r.mu.Unlock()
+		<-c.done
+		return c.p, c.err
 	}
+	c := &progCall{done: make(chan struct{})}
+	r.progs[app] = c
+	r.mu.Unlock()
+
+	c.p, c.err = loadProgram(app)
+	close(c.done)
+	return c.p, c.err
+}
+
+func loadProgram(app string) (*poly.Program, error) {
 	w, ok := workloads.ByName(app)
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown workload %q", app)
 	}
-	p, err := w.Program()
-	if err != nil {
-		return nil, err
-	}
-	r.progs[app] = p
-	return p, nil
+	return w.Program()
 }
 
 // defaultPlans builds the standard parallelization of p for cfg.
@@ -136,13 +175,64 @@ func defaultPlans(p *poly.Program, cfg sim.Config) (map[*poly.LoopNest]*parallel
 	return plans, nil
 }
 
+// evictLocked makes room for one more preparation by dropping the least
+// recently used completed entries. In-flight preparations are never evicted
+// (waiters deduplicate against them); if all entries are in flight the
+// cache temporarily overflows instead. Caller holds r.mu.
+func (r *Runner) evictLocked() {
+	for len(r.preps) >= maxPreps {
+		var victim prepKey
+		var victimCall *prepCall
+		for k, c := range r.preps {
+			if !c.finished {
+				continue
+			}
+			if victimCall == nil || c.lastUse < victimCall.lastUse {
+				victim, victimCall = k, c
+			}
+		}
+		if victimCall == nil {
+			return
+		}
+		delete(r.preps, victim)
+	}
+}
+
 // prepare resolves layouts and traces for (app, cfg, scheme), caching the
-// result.
+// result with singleflight semantics and LRU-bounded capacity.
 func (r *Runner) prepare(app string, cfg sim.Config, scheme Scheme) (*prep, error) {
 	key := keyFor(app, cfg, scheme)
-	if pr, ok := r.preps[key]; ok {
-		return pr, nil
+	r.mu.Lock()
+	r.seq++
+	if c, ok := r.preps[key]; ok {
+		c.lastUse = r.seq
+		r.mu.Unlock()
+		<-c.done
+		return c.pr, c.err
 	}
+	c := &prepCall{done: make(chan struct{}), lastUse: r.seq}
+	r.evictLocked()
+	r.preps[key] = c
+	r.mu.Unlock()
+
+	c.pr, c.err = r.buildPrep(app, cfg, scheme)
+
+	r.mu.Lock()
+	c.finished = true
+	if c.err != nil {
+		// Failed preparations are not worth a cache slot; the error is
+		// still delivered to every waiter through the call itself.
+		if r.preps[key] == c {
+			delete(r.preps, key)
+		}
+	}
+	r.mu.Unlock()
+	close(c.done)
+	return c.pr, c.err
+}
+
+// buildPrep does the actual preparation work (layout choice + traces).
+func (r *Runner) buildPrep(app string, cfg sim.Config, scheme Scheme) (*prep, error) {
 	p, err := r.program(app)
 	if err != nil {
 		return nil, err
@@ -188,7 +278,7 @@ func (r *Runner) prepare(app string, cfg sim.Config, scheme Scheme) (*prep, erro
 	if err != nil {
 		return nil, err
 	}
-	pr.traces, err = trace.Generate(p, plans, pr.ft, cfg.BlockElems, cfg.Threads())
+	pr.traces, err = trace.GenerateWorkers(p, plans, pr.ft, cfg.BlockElems, cfg.Threads(), r.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -199,16 +289,20 @@ func (r *Runner) prepare(app string, cfg sim.Config, scheme Scheme) (*prep, erro
 		}
 		pr.mapping = &m
 	}
-	if len(r.preps) >= maxPreps {
-		r.preps = make(map[prepKey]*prep, maxPreps)
-	}
-	r.preps[key] = pr
 	return pr, nil
+}
+
+// cachedPreps returns the number of resident preparations (tests only).
+func (r *Runner) cachedPreps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.preps)
 }
 
 // Run simulates app under cfg with the given scheme and returns the
 // report. The cache policy and thread mapping come from cfg (except that
-// SchemeCompMap installs its own computed mapping).
+// SchemeCompMap installs its own computed mapping). Run is safe for
+// concurrent use; each call simulates on its own Machine.
 func (r *Runner) Run(app string, cfg sim.Config, scheme Scheme) (*sim.Report, error) {
 	pr, err := r.prepare(app, cfg, scheme)
 	if err != nil {

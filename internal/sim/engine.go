@@ -122,6 +122,10 @@ func (h *threadHeap) Pop() any      { x := h.ids[len(h.ids)-1]; h.ids = h.ids[:l
 func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
 	threads := m.cfg.Threads()
 	clock := make([]int64, threads) // ns
+	// pos and the heap's id slice are reused across nests (hot-path
+	// allocation trim: one allocation each per Run, not per nest).
+	pos := make([]int, threads)
+	ids := make([]int, 0, threads)
 	var accesses int64
 
 	for ni, nt := range traces {
@@ -136,10 +140,10 @@ func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
 				barrier = c
 			}
 		}
-		pos := make([]int, threads)
-		h := &threadHeap{time: clock}
+		h := &threadHeap{time: clock, ids: ids[:0]}
 		for t := 0; t < threads; t++ {
 			clock[t] = barrier
+			pos[t] = 0
 			if len(nt.Streams[t]) > 0 {
 				h.ids = append(h.ids, t)
 			}

@@ -60,6 +60,7 @@ type LRU struct {
 	items   map[BlockID]*entry
 	head    *entry // most recently used
 	tail    *entry // least recently used
+	free    *entry // single-slot pool recycling evicted/removed nodes
 	stats   Stats
 	onEvict func(BlockID)
 }
@@ -132,7 +133,13 @@ func (c *LRU) Insert(b BlockID) {
 	if len(c.items) >= c.cap {
 		c.evictLRU()
 	}
-	e := &entry{id: b}
+	e := c.free
+	if e != nil {
+		c.free = nil
+		e.id = b
+	} else {
+		e = &entry{id: b}
+	}
 	c.items[b] = e
 	c.pushFront(e)
 }
@@ -146,6 +153,7 @@ func (c *LRU) Remove(b BlockID) bool {
 	}
 	c.unlink(e)
 	delete(c.items, b)
+	c.free = e
 	return true
 }
 
@@ -153,6 +161,7 @@ func (c *LRU) Remove(b BlockID) bool {
 func (c *LRU) Reset() {
 	c.items = make(map[BlockID]*entry, c.cap)
 	c.head, c.tail = nil, nil
+	c.free = nil
 	c.stats = Stats{}
 }
 
@@ -164,8 +173,12 @@ func (c *LRU) evictLRU() {
 	c.unlink(v)
 	delete(c.items, v.id)
 	c.stats.Evictions++
+	id := v.id
+	// Recycle the node before the callback runs: DEMOTE-LRU's demotion
+	// path may immediately Insert into another (or this) cache.
+	c.free = v
 	if c.onEvict != nil {
-		c.onEvict(v.id)
+		c.onEvict(id)
 	}
 }
 

@@ -6,7 +6,9 @@ package trace
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"flopt/internal/layout"
 	"flopt/internal/linalg"
@@ -94,60 +96,191 @@ func (nt *NestTrace) TotalElems() int64 {
 	return n
 }
 
+// refInfo is the resolved per-reference state of one nest (shared,
+// read-only across shard workers).
+type refInfo struct {
+	ref  *poly.Reference
+	file int32
+	lay  layout.Layout
+}
+
 // Generate produces the access streams of every nest of p, in program
-// order, under the given plans and layouts.
+// order, under the given plans and layouts, using one trace-generation
+// worker per available CPU. See GenerateWorkers for the output guarantee.
 func Generate(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
 	ft *FileTable, blockElems int64, threads int) ([]*NestTrace, error) {
+	return GenerateWorkers(p, plans, ft, blockElems, threads, runtime.GOMAXPROCS(0))
+}
+
+// GenerateWorkers is Generate with an explicit worker count (1 = serial).
+// The iteration space of each nest is partitioned along the parallelized
+// loop u by the plan's thread blocks, and each worker emits the streams of
+// its own subset of threads independently — streams are per-thread, so the
+// partition is race-free by construction and the output is bit-identical
+// for every worker count.
+func GenerateWorkers(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
+	ft *FileTable, blockElems int64, threads, workers int) ([]*NestTrace, error) {
 	if blockElems < 1 {
 		return nil, fmt.Errorf("trace: blockElems must be ≥ 1")
 	}
-	var out []*NestTrace
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*NestTrace, 0, len(p.Nests))
 	for ni, n := range p.Nests {
 		plan := plans[n]
 		if plan == nil {
 			return nil, fmt.Errorf("trace: nest %d has no plan", ni)
 		}
 		nt := &NestTrace{Streams: make([][]Access, threads)}
-		// Per-ref scratch and resolved file/layout.
-		type refInfo struct {
-			ref  *poly.Reference
-			file int32
-			lay  layout.Layout
-			dst  linalg.Vec
-		}
 		infos := make([]refInfo, len(n.Refs))
 		for ri, r := range n.Refs {
 			id := ft.ID(r.Array.Name)
-			infos[ri] = refInfo{ref: r, file: id, lay: ft.Layouts[id], dst: make(linalg.Vec, r.Array.Rank())}
+			infos[ri] = refInfo{ref: r, file: id, lay: ft.Layouts[id]}
 		}
-		var genErr error
-		n.ForEach(func(iv linalg.Vec) {
-			if genErr != nil {
-				return
+		// Preallocate each thread's stream from a TotalElems-based
+		// estimate: the element-touch count is trip·refs, split across
+		// threads; coalescing shrinks it further, so a quarter of the
+		// upper bound avoids most growth reallocations without
+		// overcommitting memory on scattered access patterns.
+		est := n.TripCount() * int64(len(n.Refs)) / int64(threads) / 4
+		if est < 16 {
+			est = 16
+		}
+		if est > 1<<20 {
+			est = 1 << 20
+		}
+
+		shards := workers
+		if shards > threads {
+			shards = threads
+		}
+		if shards <= 1 {
+			g := &shardGen{
+				nest: n, ni: ni, plan: plan, infos: infos, streams: nt.Streams,
+				blockElems: blockElems, shard: 0, shards: 1, prealloc: int(est),
 			}
-			th := plan.ThreadOf(iv[plan.U])
-			stream := nt.Streams[th]
-			for ri := range infos {
-				inf := &infos[ri]
-				inf.ref.EvalInto(iv, inf.dst)
-				if !inf.ref.Array.Contains(inf.dst) {
-					genErr = fmt.Errorf("trace: nest %d ref %s accesses %v outside %v at iteration %v",
-						ni, inf.ref, inf.dst, inf.ref.Array.Dims, iv)
-					return
-				}
-				blk := inf.lay.Offset(inf.dst) / blockElems
-				if ln := len(stream); ln > 0 && stream[ln-1].File == inf.file && stream[ln-1].Block == blk {
-					stream[ln-1].Elems++ // coalesce consecutive same-block accesses
-					continue
-				}
-				stream = append(stream, Access{File: inf.file, Block: blk, Elems: 1})
+			g.run()
+			if g.err != nil {
+				return nil, g.err
 			}
-			nt.Streams[th] = stream
-		})
-		if genErr != nil {
-			return nil, genErr
+		} else {
+			gens := make([]*shardGen, shards)
+			var wg sync.WaitGroup
+			wg.Add(shards)
+			for w := 0; w < shards; w++ {
+				g := &shardGen{
+					nest: n, ni: ni, plan: plan, infos: infos, streams: nt.Streams,
+					blockElems: blockElems, shard: w, shards: shards, prealloc: int(est),
+				}
+				gens[w] = g
+				go func() {
+					defer wg.Done()
+					g.run()
+				}()
+			}
+			wg.Wait()
+			for _, g := range gens {
+				if g.err != nil {
+					return nil, g.err
+				}
+			}
 		}
 		out = append(out, nt)
 	}
 	return out, nil
+}
+
+// shardGen walks the iteration space of one nest restricted to the threads
+// t with t ≡ shard (mod shards) and appends their accesses to streams[t].
+// Each thread's stream is written by exactly one shard, and within a shard
+// iterations are visited in lexicographic order, so the per-thread
+// subsequences match the serial generation exactly.
+type shardGen struct {
+	nest       *poly.LoopNest
+	ni         int
+	plan       *parallel.Plan
+	infos      []refInfo
+	streams    [][]Access
+	blockElems int64
+	shard      int
+	shards     int
+	prealloc   int
+	dsts       []linalg.Vec
+	err        error
+}
+
+func (g *shardGen) run() {
+	// A panic inside a shard goroutine (e.g. an iteration value outside
+	// the plan's rectangular bounds) would kill the whole process;
+	// surface it as a generation error instead.
+	defer func() {
+		if p := recover(); p != nil {
+			g.err = fmt.Errorf("trace: nest %d generation panicked: %v", g.ni, p)
+		}
+	}()
+	// Per-worker scratch vectors, reused across every iteration.
+	g.dsts = make([]linalg.Vec, len(g.infos))
+	for ri, inf := range g.infos {
+		g.dsts[ri] = make(linalg.Vec, inf.ref.Array.Rank())
+	}
+	iv := make(linalg.Vec, g.nest.Depth())
+	g.walk(0, iv)
+}
+
+func (g *shardGen) walk(depth int, iv linalg.Vec) {
+	if g.err != nil {
+		return
+	}
+	if depth == g.nest.Depth() {
+		g.emit(iv)
+		return
+	}
+	l := g.nest.Loops[depth]
+	lo, hi := g.nest.Bounds(depth, iv[:depth])
+	step := l.Step
+	if step <= 0 {
+		step = 1
+	}
+	if depth == g.plan.U && g.shards > 1 {
+		// Partition point: only descend into iterations whose thread
+		// block belongs to this shard.
+		for v := lo; v <= hi; v += step {
+			if g.plan.ThreadOf(v)%g.shards != g.shard {
+				continue
+			}
+			iv[depth] = v
+			g.walk(depth+1, iv)
+		}
+		return
+	}
+	for v := lo; v <= hi; v += step {
+		iv[depth] = v
+		g.walk(depth+1, iv)
+	}
+}
+
+func (g *shardGen) emit(iv linalg.Vec) {
+	th := g.plan.ThreadOf(iv[g.plan.U])
+	stream := g.streams[th]
+	for ri := range g.infos {
+		inf := &g.infos[ri]
+		dst := g.dsts[ri]
+		inf.ref.EvalInto(iv, dst)
+		if !inf.ref.Array.Contains(dst) {
+			g.err = fmt.Errorf("trace: nest %d ref %s accesses %v outside %v at iteration %v",
+				g.ni, inf.ref, dst, inf.ref.Array.Dims, iv)
+			return
+		}
+		blk := inf.lay.Offset(dst) / g.blockElems
+		if ln := len(stream); ln > 0 && stream[ln-1].File == inf.file && stream[ln-1].Block == blk {
+			stream[ln-1].Elems++ // coalesce consecutive same-block accesses
+			continue
+		}
+		if stream == nil {
+			stream = make([]Access, 0, g.prealloc)
+		}
+		stream = append(stream, Access{File: inf.file, Block: blk, Elems: 1})
+	}
+	g.streams[th] = stream
 }

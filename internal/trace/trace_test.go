@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"reflect"
 	"testing"
 
 	"flopt/internal/lang"
@@ -161,6 +162,54 @@ func TestGenerateBadArgs(t *testing.T) {
 		t.Error("missing plan accepted")
 	}
 	_ = plans
+}
+
+// TestGenerateWorkersDeterministic proves the parallel trace generator is
+// bit-identical to the serial walk for every worker count: the iteration
+// space is partitioned along the parallelized loop by thread blocks, so
+// each per-thread stream is produced by exactly one worker in the same
+// lexicographic order the serial generator visits.
+func TestGenerateWorkersDeterministic(t *testing.T) {
+	src := `
+array A[32][32];
+array B[32][32];
+parallel(i) for i = 0 to 31 { for j = 0 to 31 { read A[i][j]; write B[j][i]; } }
+parallel(j) for i = 0 to 31 { for j = 0 to 31 { read B[i][j]; } }
+`
+	p, plans, ft := setup(t, src, 8)
+	ref, err := GenerateWorkers(p, plans, ft, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		got, err := GenerateWorkers(p, plans, ft, 8, 8, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d nests, want %d", workers, len(got), len(ref))
+		}
+		for ni := range ref {
+			if !reflect.DeepEqual(got[ni].Streams, ref[ni].Streams) {
+				t.Errorf("workers=%d nest %d: streams differ from serial generation", workers, ni)
+			}
+		}
+	}
+}
+
+// TestGenerateWorkersOutOfBounds checks error propagation from shard
+// workers (no panic escapes the goroutines).
+func TestGenerateWorkersOutOfBounds(t *testing.T) {
+	src := `
+array A[4][4];
+parallel(i) for i = 0 to 4 { for j = 0 to 3 { read A[i][j]; } }
+`
+	p, plans, ft := setup(t, src, 2)
+	for _, workers := range []int{1, 2, 4} {
+		if _, err := GenerateWorkers(p, plans, ft, 4, 2, workers); err == nil {
+			t.Errorf("workers=%d: out-of-bounds access not reported", workers)
+		}
+	}
 }
 
 func TestFileTable(t *testing.T) {

@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench_harness.sh — measure the two headline harness benchmarks
+# (BenchmarkTable2Default, BenchmarkSimulatorThroughput) and print their
+# best-of-3 wall-clock as a JSON fragment on stdout.
+#
+# Usage: scripts/bench_harness.sh [extra go test args…]
+#
+# The checked-in BENCH_harness.json records one before/after pair per perf
+# PR; rerun this script on your machine and splice the output in to extend
+# the trajectory.
+set -eu
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench '^(BenchmarkTable2Default|BenchmarkSimulatorThroughput)$' \
+	-benchtime=1x -count=3 "$@" .)
+printf '%s\n' "$out" >&2
+
+best() {
+	printf '%s\n' "$out" | awk -v name="$1" '$1 ~ name {print $3}' | sort -n | head -1
+}
+
+table2=$(best '^BenchmarkTable2Default')
+simthr=$(best '^BenchmarkSimulatorThroughput')
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+cat <<EOF
+{
+  "gomaxprocs": $cores,
+  "BenchmarkTable2Default_ns_per_op": $table2,
+  "BenchmarkSimulatorThroughput_ns_per_op": $simthr
+}
+EOF
