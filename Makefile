@@ -1,13 +1,15 @@
 # Verify tiers for the flopt reproduction.
 #
-#   make verify        — tier-1 (build + test) plus vet and the race tier
-#                        that keeps the parallel harness race-clean
+#   make verify        — tier-1 (build + test) plus lint (vet + gofmt) and
+#                        the race tier that keeps the parallel harness and
+#                        the fault-injection paths race-clean
 #   make bench-harness — measure the headline harness benchmarks and emit
 #                        their wall-clock as JSON (see BENCH_harness.json)
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build vet test race verify bench bench-harness
+.PHONY: build vet fmt-check lint test race verify bench bench-harness
 
 build:
 	$(GO) build ./...
@@ -15,13 +17,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+fmt-check:
+	@out=$$($(GOFMT) -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+lint: vet fmt-check
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-verify: build vet test race
+verify: build lint test race
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .

@@ -8,9 +8,12 @@
 //	exptab -exp fig7c -io-cache 128 -storage-cache 256
 //	exptab -exp all -parallel 8      # 8 experiment/trace workers
 //	exptab -exp all -parallel 1      # fully serial (reference path)
+//	exptab -exp faults -seed 42      # fault sweep: wins vs fault intensity
+//	exptab -exp table2 -faults 0.5   # base tables on a degraded cluster
 //
-// Experiments: table1, table2, table3, fig7a … fig7h, optstats, all.
-// The emitted tables are bit-identical for every -parallel value; only
+// Experiments: table1, table2, table3, fig7a … fig7h, optstats,
+// ablations, prefetch, faults, all. The emitted tables are bit-identical
+// for every -parallel value — with or without fault injection; only
 // wall-clock changes.
 package main
 
@@ -28,13 +31,15 @@ import (
 
 func main() {
 	var (
-		expList   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig7a..fig7h,optstats,all")
+		expList   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig7a..fig7h,optstats,ablations,prefetch,faults,all")
 		verbose   = flag.Bool("v", false, "print per-run progress and per-table wall-clock")
 		policy    = flag.String("policy", "lru", "cache policy for the base experiments: lru, demote, karma")
 		ioCache   = flag.Int("io-cache", 0, "override I/O cache blocks")
 		stCache   = flag.Int("storage-cache", 0, "override storage cache blocks")
 		blockSize = flag.Int64("block", 0, "override block size in elements")
 		parallelN = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment cells and trace generation (1 = serial)")
+		faults    = flag.Float64("faults", 0, "fault-injection intensity in [0,1] applied to the base experiments (0 = healthy; the faults experiment sweeps intensities itself)")
+		seed      = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical fault runs")
 	)
 	flag.Parse()
 
@@ -59,6 +64,8 @@ func main() {
 	if *blockSize > 0 {
 		cfg.BlockElems = *blockSize
 	}
+	cfg.FaultIntensity = *faults
+	cfg.FaultSeed = *seed
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -83,9 +90,10 @@ func main() {
 		"optstats":  exp.OptStats,
 		"ablations": exp.Ablations,
 		"prefetch":  exp.Prefetch,
+		"faults":    exp.FaultSweep,
 	}
 	order := []string{"table1", "table2", "table3", "fig7a", "fig7b", "fig7c",
-		"fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "optstats", "ablations", "prefetch"}
+		"fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "optstats", "ablations", "prefetch", "faults"}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*expList, ",") {

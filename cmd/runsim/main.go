@@ -7,6 +7,7 @@
 //	runsim -workload swim -scheme inter          # optimized layouts
 //	runsim -workload swim -scheme inter -policy demote
 //	runsim -src program.fl -scheme inter
+//	runsim -workload swim -faults 0.5 -seed 42   # degraded cluster (deterministic)
 package main
 
 import (
@@ -30,6 +31,8 @@ func main() {
 		stCache   = flag.Int("storage-cache", 0, "override storage cache blocks")
 		block     = flag.Int64("block", 0, "override block size in elements")
 		parallelN = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for trace generation (1 = serial)")
+		faults    = flag.Float64("faults", 0, "fault-injection intensity in [0,1] (0 = healthy platform)")
+		seed      = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical runs")
 	)
 	flag.Parse()
 
@@ -53,6 +56,11 @@ func main() {
 	}
 	if *block > 0 {
 		cfg.BlockElems = *block
+	}
+	cfg.FaultIntensity = *faults
+	cfg.FaultSeed = *seed
+	if err := cfg.Validate(); err != nil {
+		fail(err)
 	}
 
 	var rep *sim.Report
@@ -103,6 +111,11 @@ func main() {
 		rep.DiskReads, rep.DiskSeqReads, float64(rep.DiskBusyUS)/1e6)
 	if rep.Demotions > 0 {
 		fmt.Printf("demotions         %d\n", rep.Demotions)
+	}
+	if *faults > 0 {
+		fmt.Printf("fault injection   intensity %.2f, seed %d\n", *faults, *seed)
+		fmt.Printf("degraded mode     %d retries, %d timeouts, %d degraded reads, %d failed-over blocks\n",
+			rep.Retries, rep.Timeouts, rep.DegradedReads, rep.FailedOverBlocks)
 	}
 }
 

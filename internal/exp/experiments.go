@@ -445,6 +445,65 @@ func Prefetch(r *Runner, cfg sim.Config) (*Table, error) {
 	return t, nil
 }
 
+// FaultSweep asks the robustness question the healthy-cluster tables
+// cannot: do the Table 2/3 wins survive a degraded storage hierarchy?
+// For each fault intensity, the default and inter-node-optimized
+// executions run under the same seeded fault schedule (cfg.FaultSeed) —
+// fail-slow and fail-stop disks, storage-node outages, transient read
+// errors — with failover, retries and degraded reads enabled. The first
+// columns report the optimized improvement at each intensity; the last
+// columns detail the fully degraded (intensity 1) optimized run: storage
+// miss rate and degraded-mode operations per thousand block requests.
+func FaultSweep(r *Runner, cfg sim.Config) (*Table, error) {
+	intensities := []float64{0, 0.3, 0.6, 1}
+	t := &Table{
+		Title: fmt.Sprintf("Fault sweep: inter-node improvement (%%) vs fault intensity (seed %d)", cfg.FaultSeed),
+		Note: "improvement = 100·(1 − optimized/default) under the same fault schedule; " +
+			"@1 columns describe the optimized run at full intensity " +
+			"(retry/degr/failover per 1000 block requests)",
+	}
+	for _, f := range intensities {
+		t.Columns = append(t.Columns, fmt.Sprintf("f=%g", f))
+	}
+	t.Columns = append(t.Columns, "stMiss@1%", "retry/1k@1", "degr/1k@1", "fo/1k@1")
+	t.Formats = repeatFormat("%.1f", len(t.Columns))
+	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+		vals := make([]float64, 0, len(t.Columns))
+		var worst *sim.Report
+		for _, f := range intensities {
+			c := cfg
+			c.FaultIntensity = f
+			def, err := r.Run(app, c, SchemeDefault)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := r.Run(app, c, SchemeInter)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, 100*(1-ratio(float64(opt.ExecTimeUS), float64(def.ExecTimeUS))))
+			worst = opt
+		}
+		perK := func(n int64) float64 {
+			if worst.Accesses == 0 {
+				return 0
+			}
+			return 1000 * float64(n) / float64(worst.Accesses)
+		}
+		vals = append(vals,
+			100*worst.StorageMissRate(),
+			perK(worst.Retries),
+			perK(worst.DegradedReads),
+			perK(worst.FailedOverBlocks))
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.FillAverages()
+	return t, nil
+}
+
 // --- helpers ---
 
 func standardMappings(cfg sim.Config) []parallel.Mapping {

@@ -65,6 +65,86 @@ func TestParallelSerialIdenticalTables(t *testing.T) {
 	assertTablesIdentical(t, build(1), build(8))
 }
 
+// TestFaultReplayAcrossWorkerCounts extends the determinism guarantee to
+// fault injection (ISSUE 2 satellite): with a fixed fault seed, the table
+// of execution times and degraded-mode counters is cell-for-cell identical
+// whether built serially or with 8 workers, and rebuilding with the same
+// runner replays the same values. The fault rng lives in the per-run
+// Machine, so worker scheduling can never perturb it.
+func TestFaultReplayAcrossWorkerCounts(t *testing.T) {
+	apps := Apps()[:3]
+	cfg := sim.DefaultConfig()
+	cfg.FaultIntensity = 0.8
+	cfg.FaultSeed = 42
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	build := func(r *Runner) *Table {
+		tab := &Table{Columns: []string{"exec(s)", "retries", "timeouts", "degraded", "failover"}}
+		err := buildRows(r, tab, apps, func(app string) ([]float64, error) {
+			rep, err := r.Run(app, cfg, SchemeDefault)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{
+				float64(rep.ExecTimeUS) / 1e6,
+				float64(rep.Retries), float64(rep.Timeouts),
+				float64(rep.DegradedReads), float64(rep.FailedOverBlocks),
+			}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab.FillAverages()
+		return tab
+	}
+	serial := NewRunner()
+	serial.Parallel = 1
+	par := NewRunner()
+	par.Parallel = 8
+	ref := build(serial)
+	assertTablesIdentical(t, ref, build(par))
+	// Same runner, second build: the prep cache is warm now, yet the
+	// fault replay must still be bit-identical.
+	assertTablesIdentical(t, ref, build(par))
+}
+
+// TestFaultSweepShape smoke-tests the fault-sweep experiment on a reduced
+// app set via the row builder: each intensity column is filled and the
+// degraded-mode counters at full intensity are non-zero for at least one
+// app (the sweep would be vacuous on an always-healthy platform).
+func TestFaultSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep runs each app at four intensities")
+	}
+	r := NewRunner()
+	cfg := sim.DefaultConfig()
+	cfg.FaultSeed = 7
+	tab, err := FaultSweep(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(Apps()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(Apps()))
+	}
+	var anyDegraded bool
+	for _, row := range tab.Rows {
+		if len(row.Values) != len(tab.Columns) {
+			t.Fatalf("%s: %d values for %d columns", row.App, len(row.Values), len(tab.Columns))
+		}
+		// Columns beyond the four improvement figures are the
+		// degraded-mode rates at intensity 1.
+		for _, v := range row.Values[4:] {
+			if v > 0 {
+				anyDegraded = true
+			}
+		}
+	}
+	if !anyDegraded {
+		t.Error("no app recorded any degraded-mode activity at intensity 1")
+	}
+}
+
 // TestRunnerConcurrentRuns exercises Runner.Run from many goroutines at
 // once (the -race companion of the worker pool): every concurrent repeat
 // of the same (app, scheme) cell must report the same execution time, and

@@ -1,0 +1,249 @@
+// Package fault is the deterministic fault-injection subsystem of the
+// evaluation platform. A Schedule describes, in virtual time, everything
+// that can go wrong underneath the cache hierarchy: individual disks that
+// fail slow (their service time inflated over a window) or fail stop
+// (permanently dead after an instant), whole storage nodes that drop off
+// the network for a window, and a transient block-read error rate.
+//
+// Schedules are plain data: given the same Schedule and the same request
+// sequence, the simulator's degraded-mode behaviour is bit-identical,
+// which is what lets a fault run replay exactly under any `-parallel`
+// worker count. The Generate constructor derives a Schedule from a
+// math/rand seed so experiments can sweep fault intensity with one knob
+// while staying reproducible.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Window is a half-open interval [StartNS, EndNS) of virtual time.
+type Window struct {
+	StartNS, EndNS int64
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t int64) bool { return t >= w.StartNS && t < w.EndNS }
+
+// DiskFault describes the failure behaviour of one disk (one per storage
+// node in the simulated platform).
+type DiskFault struct {
+	// SlowWindows are the fail-slow intervals, sorted and non-overlapping.
+	// While inside one, the disk's service time is multiplied by
+	// SlowFactor.
+	SlowWindows []Window
+	// SlowFactor ≥ 1 scales the service time during SlowWindows.
+	SlowFactor float64
+	// FailStopNS is the instant the disk dies permanently; NeverNS means
+	// the disk never fail-stops.
+	FailStopNS int64
+}
+
+// NodeOutage describes one storage node's network outages: during any of
+// the windows the node (its cache and its disk) is unreachable.
+type NodeOutage struct {
+	// Windows are sorted, non-overlapping outage intervals.
+	Windows []Window
+}
+
+// NeverNS is a FailStopNS value meaning "never".
+const NeverNS = int64(math.MaxInt64)
+
+// Schedule is a complete fault plan for one platform instance. The zero
+// value (and a nil *Schedule) is a healthy cluster.
+type Schedule struct {
+	// Disks[s] is the fault behaviour of storage node s's disk; a missing
+	// or zero entry is a healthy disk.
+	Disks []DiskFault
+	// Nodes[s] is storage node s's outage plan.
+	Nodes []NodeOutage
+	// TransientErrorRate is the probability, per disk block read attempt,
+	// of a retryable read error (media error, dropped request).
+	TransientErrorRate float64
+}
+
+// Healthy reports whether the schedule injects no faults at all.
+func (s *Schedule) Healthy() bool {
+	if s == nil {
+		return true
+	}
+	for _, d := range s.Disks {
+		if len(d.SlowWindows) > 0 || (d.FailStopNS != 0 && d.FailStopNS != NeverNS) {
+			return false
+		}
+	}
+	for _, n := range s.Nodes {
+		if len(n.Windows) > 0 {
+			return false
+		}
+	}
+	return s.TransientErrorRate == 0
+}
+
+// inWindows reports whether t falls inside any of the sorted windows.
+func inWindows(ws []Window, t int64) bool {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].EndNS > t })
+	return i < len(ws) && ws[i].Contains(t)
+}
+
+// SlowFactorAt returns the service-time multiplier of disk s at time t
+// (1 when healthy or s is out of range).
+func (s *Schedule) SlowFactorAt(disk int, t int64) float64 {
+	if s == nil || disk < 0 || disk >= len(s.Disks) {
+		return 1
+	}
+	d := &s.Disks[disk]
+	if d.SlowFactor > 1 && inWindows(d.SlowWindows, t) {
+		return d.SlowFactor
+	}
+	return 1
+}
+
+// DiskDeadAt reports whether disk s has fail-stopped by time t.
+func (s *Schedule) DiskDeadAt(disk int, t int64) bool {
+	if s == nil || disk < 0 || disk >= len(s.Disks) {
+		return false
+	}
+	fs := s.Disks[disk].FailStopNS
+	return fs != 0 && fs != NeverNS && t >= fs
+}
+
+// NodeDownAt reports whether storage node s is unreachable at time t,
+// either through a network outage or because its disk has fail-stopped.
+func (s *Schedule) NodeDownAt(node int, t int64) bool {
+	if s == nil {
+		return false
+	}
+	if node >= 0 && node < len(s.Nodes) && inWindows(s.Nodes[node].Windows, t) {
+		return true
+	}
+	return s.DiskDeadAt(node, t)
+}
+
+// Validate checks structural consistency for a platform of `nodes` storage
+// nodes.
+func (s *Schedule) Validate(nodes int) error {
+	if s == nil {
+		return nil
+	}
+	if len(s.Disks) > nodes {
+		return fmt.Errorf("fault: schedule covers %d disks, platform has %d", len(s.Disks), nodes)
+	}
+	if len(s.Nodes) > nodes {
+		return fmt.Errorf("fault: schedule covers %d nodes, platform has %d", len(s.Nodes), nodes)
+	}
+	if s.TransientErrorRate < 0 || s.TransientErrorRate >= 1 {
+		return fmt.Errorf("fault: transient error rate %v outside [0, 1)", s.TransientErrorRate)
+	}
+	for i, d := range s.Disks {
+		if len(d.SlowWindows) > 0 && d.SlowFactor < 1 {
+			return fmt.Errorf("fault: disk %d slow factor %v < 1", i, d.SlowFactor)
+		}
+		if d.FailStopNS < 0 {
+			return fmt.Errorf("fault: disk %d fail-stop at negative time %d", i, d.FailStopNS)
+		}
+		if err := validWindows(d.SlowWindows); err != nil {
+			return fmt.Errorf("fault: disk %d slow windows: %w", i, err)
+		}
+	}
+	for i, n := range s.Nodes {
+		if err := validWindows(n.Windows); err != nil {
+			return fmt.Errorf("fault: node %d outage windows: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validWindows(ws []Window) error {
+	for i, w := range ws {
+		if w.StartNS < 0 || w.EndNS <= w.StartNS {
+			return fmt.Errorf("window %d [%d, %d) is empty or negative", i, w.StartNS, w.EndNS)
+		}
+		if i > 0 && w.StartNS < ws[i-1].EndNS {
+			return fmt.Errorf("window %d starts at %d inside previous window ending %d",
+				i, w.StartNS, ws[i-1].EndNS)
+		}
+	}
+	return nil
+}
+
+// Generation parameters: windows are laid out over a fixed virtual horizon
+// long enough to cover any evaluated run; durations and periods scale with
+// intensity.
+const (
+	// horizonNS is the virtual span faults are generated over (10 min —
+	// the evaluated runs finish well inside it).
+	horizonNS = int64(600e9)
+	// basePeriodNS is the mean spacing between fault episodes on a
+	// faulted component at intensity 1.
+	basePeriodNS = int64(20e9)
+)
+
+// Generate derives a Schedule for a platform with `nodes` storage nodes
+// from a seed and an intensity in [0, 1]. Intensity 0 returns a healthy
+// schedule; intensity 1 is a badly degraded cluster: most disks carry
+// fail-slow windows, node outages recur, one disk fail-stops early, and
+// transient errors occur on ~2% of reads. The same (seed, nodes,
+// intensity) always yields a deeply equal Schedule.
+//
+// At most one component is ever fail-stopped: single-replica failover
+// stays exercised without collapsing the whole cluster, and a run's
+// degraded fraction scales smoothly with intensity.
+func Generate(seed int64, nodes int, intensity float64) *Schedule {
+	if intensity <= 0 || nodes <= 0 {
+		return &Schedule{}
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{
+		Disks:              make([]DiskFault, nodes),
+		Nodes:              make([]NodeOutage, nodes),
+		TransientErrorRate: 0.02 * intensity,
+	}
+	for i := range s.Disks {
+		s.Disks[i].FailStopNS = NeverNS
+		// A disk is fail-slow with probability scaling to ~80% at
+		// intensity 1; its episodes recur across the horizon.
+		if rng.Float64() < 0.8*intensity {
+			f := &s.Disks[i]
+			f.SlowFactor = 2 + 6*rng.Float64()*intensity // 2x .. 8x
+			f.SlowWindows = genWindows(rng, intensity)
+		}
+		if rng.Float64() < 0.6*intensity {
+			s.Nodes[i].Windows = genWindows(rng, 0.5*intensity)
+		}
+	}
+	// One early permanent failure on a deterministic victim when the
+	// intensity is high enough to ask for it.
+	if nodes > 1 && rng.Float64() < intensity {
+		victim := rng.Intn(nodes)
+		// Fail between 0.5 s and 5 s of virtual time: early enough to
+		// matter for runs of any length.
+		s.Disks[victim].FailStopNS = int64(0.5e9 + 4.5e9*rng.Float64())
+	}
+	return s
+}
+
+// genWindows lays out recurring fault episodes over the horizon: period
+// shrinks and duty cycle grows with intensity.
+func genWindows(rng *rand.Rand, intensity float64) []Window {
+	period := int64(float64(basePeriodNS) * (2 - intensity)) // 20s..40s mean
+	duty := 0.1 + 0.4*intensity                              // fraction of period faulted
+	var ws []Window
+	t := int64(rng.Float64() * float64(period))
+	for t < horizonNS {
+		dur := int64(duty * float64(period) * (0.5 + rng.Float64()))
+		if dur < 1 {
+			dur = 1
+		}
+		ws = append(ws, Window{StartNS: t, EndNS: t + dur})
+		gap := int64(float64(period) * (0.5 + rng.Float64()))
+		t += dur + gap
+	}
+	return ws
+}

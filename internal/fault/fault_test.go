@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, intensity := range []float64{0, 0.3, 0.7, 1} {
+		a := Generate(42, 4, intensity)
+		b := Generate(42, 4, intensity)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("intensity %v: same seed produced different schedules", intensity)
+		}
+		if err := a.Validate(4); err != nil {
+			t.Errorf("intensity %v: generated schedule invalid: %v", intensity, err)
+		}
+	}
+	if reflect.DeepEqual(Generate(1, 4, 1), Generate(2, 4, 1)) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateIntensityZeroIsHealthy(t *testing.T) {
+	if !Generate(7, 4, 0).Healthy() {
+		t.Error("intensity 0 schedule is not healthy")
+	}
+	if Generate(7, 4, 1).Healthy() {
+		t.Error("intensity 1 schedule reports healthy")
+	}
+	var nilSched *Schedule
+	if !nilSched.Healthy() {
+		t.Error("nil schedule is not healthy")
+	}
+}
+
+func TestWindowLookup(t *testing.T) {
+	s := &Schedule{
+		Disks: []DiskFault{
+			{SlowWindows: []Window{{10, 20}, {30, 40}}, SlowFactor: 4, FailStopNS: NeverNS},
+			{FailStopNS: 25},
+		},
+		Nodes: []NodeOutage{{}, {Windows: []Window{{100, 200}}}},
+	}
+	if err := s.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		t    int64
+		want float64
+	}{{9, 1}, {10, 4}, {19, 4}, {20, 1}, {35, 4}, {40, 1}} {
+		if got := s.SlowFactorAt(0, tc.t); got != tc.want {
+			t.Errorf("SlowFactorAt(0, %d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if s.DiskDeadAt(1, 24) || !s.DiskDeadAt(1, 25) {
+		t.Error("fail-stop boundary wrong")
+	}
+	if s.DiskDeadAt(0, 1<<60) {
+		t.Error("NeverNS disk died")
+	}
+	// A fail-stopped disk takes its node down too.
+	if !s.NodeDownAt(1, 30) {
+		t.Error("dead disk's node not down")
+	}
+	if s.NodeDownAt(1, 99) && !s.DiskDeadAt(1, 99) {
+		t.Error("unexpected outage")
+	}
+	if !s.NodeDownAt(1, 150) || s.NodeDownAt(0, 150) {
+		t.Error("outage window lookup wrong")
+	}
+	// Out-of-range components are healthy, not a panic.
+	if s.SlowFactorAt(9, 15) != 1 || s.NodeDownAt(9, 150) || s.DiskDeadAt(-1, 0) {
+		t.Error("out-of-range component reported faulted")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		s     *Schedule
+		nodes int
+	}{
+		{"too many disks", &Schedule{Disks: make([]DiskFault, 5)}, 4},
+		{"too many nodes", &Schedule{Nodes: make([]NodeOutage, 5)}, 4},
+		{"bad rate", &Schedule{TransientErrorRate: 1.5}, 4},
+		{"negative rate", &Schedule{TransientErrorRate: -0.1}, 4},
+		{"slow factor < 1", &Schedule{Disks: []DiskFault{
+			{SlowWindows: []Window{{0, 10}}, SlowFactor: 0.5}}}, 4},
+		{"negative fail-stop", &Schedule{Disks: []DiskFault{{FailStopNS: -3}}}, 4},
+		{"empty window", &Schedule{Nodes: []NodeOutage{
+			{Windows: []Window{{5, 5}}}}}, 4},
+		{"overlapping windows", &Schedule{Nodes: []NodeOutage{
+			{Windows: []Window{{0, 10}, {5, 15}}}}}, 4},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(tc.nodes); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(4); err != nil {
+		t.Errorf("nil schedule rejected: %v", err)
+	}
+}
+
+func TestGenerateWindowsSortedWithinHorizon(t *testing.T) {
+	s := Generate(99, 8, 1)
+	check := func(ws []Window, what string) {
+		for i, w := range ws {
+			if w.EndNS <= w.StartNS {
+				t.Fatalf("%s window %d empty: %+v", what, i, w)
+			}
+			if i > 0 && w.StartNS < ws[i-1].EndNS {
+				t.Fatalf("%s windows overlap at %d", what, i)
+			}
+			if w.StartNS >= horizonNS {
+				t.Fatalf("%s window %d past horizon", what, i)
+			}
+		}
+	}
+	for i := range s.Disks {
+		check(s.Disks[i].SlowWindows, "slow")
+	}
+	for i := range s.Nodes {
+		check(s.Nodes[i].Windows, "outage")
+	}
+}

@@ -1,14 +1,18 @@
 // Package pfs is a functional (data-bearing) model of the PVFS-style
 // parallel file system underneath the simulator: files hold real bytes,
-// striped block-by-block across storage nodes. Where internal/sim answers
-// "how long does this access take", pfs answers "is the data actually
-// where the layout function says it is" — it is the end-to-end
-// verification layer for file layouts, and the substrate for the §4.3
-// import/export passes on real buffers.
+// striped block-by-block across storage nodes, optionally with stripe
+// replicas on the following nodes (chained declustering). Where
+// internal/sim answers "how long does this access take", pfs answers "is
+// the data actually where the layout function says it is" — it is the
+// end-to-end verification layer for file layouts, for the §4.3
+// import/export passes on real buffers, and for degraded-mode reads:
+// with replication, a read through a failed storage node reconstructs
+// byte-identical data from the surviving copy.
 package pfs
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -17,50 +21,119 @@ import (
 	"flopt/internal/storage/stripe"
 )
 
+// Typed sentinel errors; every error returned by the package wraps one of
+// these (match with errors.Is).
+var (
+	// ErrNotFound: the named file does not exist.
+	ErrNotFound = errors.New("pfs: file not found")
+	// ErrOutOfRange: a read or write touches bytes outside the file.
+	ErrOutOfRange = errors.New("pfs: offset out of range")
+	// ErrUnavailable: every node holding a copy of the block has failed.
+	ErrUnavailable = errors.New("pfs: block unavailable")
+	// ErrBadConfig: invalid file system geometry.
+	ErrBadConfig = errors.New("pfs: invalid configuration")
+)
+
 // FS is a parallel file system instance: a set of storage nodes holding
-// stripes of every file.
+// stripes (and stripe replicas) of every file.
 type FS struct {
 	striping   stripe.Striping
 	blockBytes int64
+	replicas   int
 	files      map[string]*File
+	// failed[s] marks storage node s unreadable (see FailNode). Writes
+	// still reach every copy, modeling the resynchronization journal a
+	// real deployment replays on recovery.
+	failed []bool
+	// degradedReads counts block reads served by a non-primary copy.
+	degradedReads int64
 }
 
-// New creates a file system over storageNodes nodes with the given stripe
-// (block) size in bytes.
+// New creates an unreplicated file system over storageNodes nodes with
+// the given stripe (block) size in bytes.
 func New(storageNodes int, blockBytes int64) (*FS, error) {
+	return NewReplicated(storageNodes, blockBytes, 1)
+}
+
+// NewReplicated creates a file system keeping `replicas` copies of every
+// block: copy r of block b lives on the r-th node after b's primary
+// (chained declustering). replicas must be in [1, storageNodes].
+func NewReplicated(storageNodes int, blockBytes int64, replicas int) (*FS, error) {
 	if blockBytes < 1 {
-		return nil, fmt.Errorf("pfs: block size must be positive")
+		return nil, fmt.Errorf("%w: block size %d must be positive", ErrBadConfig, blockBytes)
+	}
+	if storageNodes < 1 {
+		return nil, fmt.Errorf("%w: need at least one storage node, got %d", ErrBadConfig, storageNodes)
+	}
+	if replicas < 1 || replicas > storageNodes {
+		return nil, fmt.Errorf("%w: replicas %d outside [1, %d]", ErrBadConfig, replicas, storageNodes)
 	}
 	return &FS{
 		striping:   stripe.New(storageNodes),
 		blockBytes: blockBytes,
+		replicas:   replicas,
 		files:      map[string]*File{},
+		failed:     make([]bool, storageNodes),
 	}, nil
 }
 
 // BlockBytes returns the stripe unit.
 func (fs *FS) BlockBytes() int64 { return fs.blockBytes }
 
-// File is one striped file. Stripes live on per-node block lists, exactly
-// as a PVFS file would be distributed.
+// Replicas returns the number of copies kept per block.
+func (fs *FS) Replicas() int { return fs.replicas }
+
+// FailNode marks storage node s unreadable: subsequent reads of blocks
+// whose primary copy lives there are served degraded from a replica.
+func (fs *FS) FailNode(s int) error {
+	if s < 0 || s >= fs.striping.Nodes() {
+		return fmt.Errorf("%w: no storage node %d", ErrBadConfig, s)
+	}
+	fs.failed[s] = true
+	return nil
+}
+
+// ReviveNode returns a failed node to service. Its copies are immediately
+// consistent: writes during the outage reached every copy (the journal
+// model), so no explicit resync pass is needed.
+func (fs *FS) ReviveNode(s int) error {
+	if s < 0 || s >= fs.striping.Nodes() {
+		return fmt.Errorf("%w: no storage node %d", ErrBadConfig, s)
+	}
+	fs.failed[s] = false
+	return nil
+}
+
+// DegradedReads returns how many block reads were served by a replica
+// because the primary's node had failed.
+func (fs *FS) DegradedReads() int64 { return fs.degradedReads }
+
+// File is one striped file. Each node holds that node's copies of the
+// file's blocks, keyed by global block index — primaries and replicas
+// alike, exactly as a chained-declustered PVFS file would be distributed.
 type File struct {
 	fs   *FS
 	name string
 	size int64
-	// nodes[s] holds this file's blocks on storage node s, in local order.
-	nodes [][][]byte
+	// nodes[s] maps global block index → storage node s's copy.
+	nodes []map[int64][]byte
 }
 
 // Create makes (or truncates) a file of the given byte size.
 func (fs *FS) Create(name string, size int64) (*File, error) {
 	if size < 0 {
-		return nil, fmt.Errorf("pfs: negative file size")
+		return nil, fmt.Errorf("%w: negative size %d for %q", ErrBadConfig, size, name)
 	}
-	f := &File{fs: fs, name: name, size: size, nodes: make([][][]byte, fs.striping.Nodes())}
+	f := &File{fs: fs, name: name, size: size, nodes: make([]map[int64][]byte, fs.striping.Nodes())}
+	for s := range f.nodes {
+		f.nodes[s] = map[int64][]byte{}
+	}
 	blocks := (size + fs.blockBytes - 1) / fs.blockBytes
 	for b := int64(0); b < blocks; b++ {
-		s := fs.striping.NodeOf(b)
-		f.nodes[s] = append(f.nodes[s], make([]byte, fs.blockBytes))
+		for r := 0; r < fs.replicas; r++ {
+			s := fs.striping.ReplicaOf(b, r)
+			f.nodes[s][b] = make([]byte, fs.blockBytes)
+		}
 	}
 	fs.files[name] = f
 	return f, nil
@@ -70,7 +143,7 @@ func (fs *FS) Create(name string, size int64) (*File, error) {
 func (fs *FS) Open(name string) (*File, error) {
 	f, ok := fs.files[name]
 	if !ok {
-		return nil, fmt.Errorf("pfs: no such file %q", name)
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return f, nil
 }
@@ -78,7 +151,7 @@ func (fs *FS) Open(name string) (*File, error) {
 // Remove deletes a file.
 func (fs *FS) Remove(name string) error {
 	if _, ok := fs.files[name]; !ok {
-		return fmt.Errorf("pfs: no such file %q", name)
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(fs.files, name)
 	return nil
@@ -90,31 +163,67 @@ func (f *File) Size() int64 { return f.size }
 // Name returns the file name.
 func (f *File) Name() string { return f.name }
 
-// block returns the backing slice of file block b.
-func (f *File) block(b int64) ([]byte, error) {
-	s := f.fs.striping.NodeOf(b)
-	local := f.fs.striping.LocalIndex(b)
-	if local >= int64(len(f.nodes[s])) {
-		return nil, fmt.Errorf("pfs: block %d beyond end of %q", b, f.name)
+// readBlock returns a readable copy of file block b: the primary when its
+// node is up, otherwise the first surviving replica (a degraded read).
+func (f *File) readBlock(b int64) ([]byte, error) {
+	for r := 0; r < f.fs.replicas; r++ {
+		s := f.fs.striping.ReplicaOf(b, r)
+		if f.fs.failed[s] {
+			continue
+		}
+		blk, ok := f.nodes[s][b]
+		if !ok {
+			break
+		}
+		if r > 0 {
+			f.fs.degradedReads++
+		}
+		return blk, nil
 	}
-	return f.nodes[s][local], nil
+	if _, ok := f.nodes[f.fs.striping.NodeOf(b)][b]; !ok {
+		return nil, fmt.Errorf("%w: block %d beyond end of %q", ErrOutOfRange, b, f.name)
+	}
+	return nil, fmt.Errorf("%w: all %d copies of block %d of %q are on failed nodes",
+		ErrUnavailable, f.fs.replicas, b, f.name)
 }
 
-// NodeOfOffset reports which storage node holds the byte at off.
+// writeBlock visits every copy of block b, failed nodes included (the
+// journal model: a recovering node replays writes it missed, so copies
+// never diverge).
+func (f *File) writeBlock(b int64, visit func(blk []byte)) error {
+	found := false
+	for r := 0; r < f.fs.replicas; r++ {
+		s := f.fs.striping.ReplicaOf(b, r)
+		if blk, ok := f.nodes[s][b]; ok {
+			visit(blk)
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: block %d beyond end of %q", ErrOutOfRange, b, f.name)
+	}
+	return nil
+}
+
+// NodeOfOffset reports which storage node holds the primary copy of the
+// byte at off.
 func (f *File) NodeOfOffset(off int64) int {
 	return f.fs.striping.NodeOf(off / f.fs.blockBytes)
 }
 
 // ReadAt fills p from the file starting at byte offset off, crossing
-// stripe boundaries as needed.
+// stripe boundaries as needed. Reads through failed nodes return
+// byte-identical data from replicas; if every copy of a needed block is
+// unreachable, the error wraps ErrUnavailable.
 func (f *File) ReadAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > f.size {
-		return fmt.Errorf("pfs: read [%d, %d) outside file %q of %d bytes", off, off+int64(len(p)), f.name, f.size)
+		return fmt.Errorf("%w: read [%d, %d) outside file %q of %d bytes",
+			ErrOutOfRange, off, off+int64(len(p)), f.name, f.size)
 	}
 	for n := 0; n < len(p); {
 		b := (off + int64(n)) / f.fs.blockBytes
 		in := (off + int64(n)) % f.fs.blockBytes
-		blk, err := f.block(b)
+		blk, err := f.readBlock(b)
 		if err != nil {
 			return err
 		}
@@ -123,19 +232,24 @@ func (f *File) ReadAt(p []byte, off int64) error {
 	return nil
 }
 
-// WriteAt stores p into the file starting at byte offset off.
+// WriteAt stores p into the file starting at byte offset off, updating
+// every replica.
 func (f *File) WriteAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > f.size {
-		return fmt.Errorf("pfs: write [%d, %d) outside file %q of %d bytes", off, off+int64(len(p)), f.name, f.size)
+		return fmt.Errorf("%w: write [%d, %d) outside file %q of %d bytes",
+			ErrOutOfRange, off, off+int64(len(p)), f.name, f.size)
 	}
 	for n := 0; n < len(p); {
 		b := (off + int64(n)) / f.fs.blockBytes
 		in := (off + int64(n)) % f.fs.blockBytes
-		blk, err := f.block(b)
+		var wrote int
+		err := f.writeBlock(b, func(blk []byte) {
+			wrote = copy(blk[in:], p[n:])
+		})
 		if err != nil {
 			return err
 		}
-		n += copy(blk[in:], p[n:])
+		n += wrote
 	}
 	return nil
 }

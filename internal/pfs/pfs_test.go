@@ -1,6 +1,8 @@
 package pfs
 
 import (
+	"bytes"
+	"errors"
 	"testing"
 
 	"flopt/internal/lang"
@@ -80,6 +82,172 @@ func TestBoundsChecks(t *testing.T) {
 	}
 	if _, err := New(2, 0); err == nil {
 		t.Error("zero block size accepted")
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	fs := newFS(t)
+	if _, err := fs.Open("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Open(ghost) = %v, want ErrNotFound", err)
+	}
+	if err := fs.Remove("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Remove(ghost) = %v, want ErrNotFound", err)
+	}
+	f, _ := fs.Create("x", 100)
+	// Reads past EOF, negative offsets, and writes out of range all wrap
+	// ErrOutOfRange with context.
+	if err := f.ReadAt(make([]byte, 10), 95); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read past EOF = %v, want ErrOutOfRange", err)
+	}
+	if err := f.ReadAt(make([]byte, 1), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative read = %v, want ErrOutOfRange", err)
+	}
+	if err := f.WriteAt(make([]byte, 200), 0); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("oversized write = %v, want ErrOutOfRange", err)
+	}
+	if _, err := fs.Create("y", -1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative size = %v, want ErrBadConfig", err)
+	}
+	if _, err := NewReplicated(2, 64, 3); !errors.Is(err, ErrBadConfig) {
+		t.Error("replicas > nodes accepted")
+	}
+	if _, err := NewReplicated(2, 64, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero replicas accepted")
+	}
+	if err := fs.FailNode(99); !errors.Is(err, ErrBadConfig) {
+		t.Error("failing an unknown node accepted")
+	}
+}
+
+// TestDegradedReadByteIdentical is the acceptance-criteria round trip:
+// with stripe replication, reads through a failed storage node return
+// exactly the bytes the healthy path returns.
+func TestDegradedReadByteIdentical(t *testing.T) {
+	fs, err := NewReplicated(4, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("x", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	healthy := make([]byte, 1000)
+	if err := f.ReadAt(healthy, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healthy, data) {
+		t.Fatal("healthy read differs from written data")
+	}
+	if fs.DegradedReads() != 0 {
+		t.Fatalf("healthy reads counted as degraded: %d", fs.DegradedReads())
+	}
+	// Fail each node in turn; every byte must still read back identically.
+	for s := 0; s < 4; s++ {
+		if err := fs.FailNode(s); err != nil {
+			t.Fatal(err)
+		}
+		degraded := make([]byte, 1000)
+		if err := f.ReadAt(degraded, 0); err != nil {
+			t.Fatalf("node %d failed: %v", s, err)
+		}
+		if !bytes.Equal(degraded, healthy) {
+			t.Fatalf("node %d failed: degraded read differs from healthy read", s)
+		}
+		if err := fs.ReviveNode(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fs.DegradedReads() == 0 {
+		t.Error("degraded reads not counted")
+	}
+}
+
+func TestWritesDuringOutageSurviveRevival(t *testing.T) {
+	fs, _ := NewReplicated(3, 32, 2)
+	f, _ := fs.Create("x", 300)
+	if err := fs.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(255 - i%251)
+	}
+	if err := f.WriteAt(data, 0); err != nil {
+		t.Fatalf("write during outage: %v", err)
+	}
+	if err := fs.ReviveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 300)
+	if err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("journaled writes lost on revival")
+	}
+}
+
+func TestAllCopiesDownIsUnavailable(t *testing.T) {
+	fs, _ := NewReplicated(3, 32, 2)
+	f, _ := fs.Create("x", 300)
+	// Block 0's copies live on nodes 0 and 1; failing both starves it.
+	fs.FailNode(0)
+	fs.FailNode(1)
+	err := f.ReadAt(make([]byte, 10), 0)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("read with all copies down = %v, want ErrUnavailable", err)
+	}
+	// Unreplicated file systems degrade to unavailable on a single
+	// failure.
+	fs1, _ := New(2, 32)
+	f1, _ := fs1.Create("y", 100)
+	fs1.FailNode(0)
+	if err := f1.ReadAt(make([]byte, 10), 0); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("unreplicated read through failed node = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestArrayRoundTripUnderFailedNode drives the degraded path end to end
+// through an optimized array layout: import, fail a node, export — the
+// canonical data must survive bit-identically.
+func TestArrayRoundTripUnderFailedNode(t *testing.T) {
+	fs, err := NewReplicated(4, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &poly.Array{Name: "A", Dims: []int64{16, 16}}
+	af, err := fs.CreateArray("A", a.Dims, layout.ColMajor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := make([]float64, 256)
+	for i := range canonical {
+		canonical[i] = float64(i)*0.5 - 3
+	}
+	if err := af.Import(canonical); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.FailNode(2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := af.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range canonical {
+		if back[i] != canonical[i] {
+			t.Fatalf("element %d changed under degraded export: %v != %v", i, back[i], canonical[i])
+		}
+	}
+	if fs.DegradedReads() == 0 {
+		t.Error("export through failed node performed no degraded reads")
 	}
 }
 

@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 
+	"flopt/internal/fault"
 	"flopt/internal/layout"
 	"flopt/internal/parallel"
 	"flopt/internal/storage/disk"
@@ -56,6 +57,53 @@ type Config struct {
 	// Mapping assigns threads to compute nodes (Fig. 7(b)); nil means the
 	// identity mapping.
 	Mapping *parallel.Mapping
+
+	// FaultIntensity in [0, 1] enables deterministic fault injection: a
+	// fault schedule (fail-slow and fail-stop disks, storage-node
+	// outages, transient read errors) is generated from FaultSeed at this
+	// intensity. 0 is the healthy platform.
+	FaultIntensity float64
+	// FaultSeed seeds both the schedule generation and the per-run
+	// transient-error stream; identical seeds replay bit-identical runs.
+	FaultSeed int64
+	// FaultSchedule, when non-nil, is used verbatim instead of generating
+	// one from (FaultSeed, FaultIntensity).
+	FaultSchedule *fault.Schedule
+
+	// MaxRetries bounds the retry attempts after a transient disk read
+	// error (0 means the DefaultMaxRetries policy; negative is invalid).
+	MaxRetries int
+	// RetryBackoffUS is the base of the capped exponential backoff
+	// between retries (0 means DefaultRetryBackoffUS).
+	RetryBackoffUS int64
+	// RequestTimeoutUS is the per-request deadline; when it expires the
+	// read is served degraded from the replica stripe (0 means
+	// DefaultRequestTimeoutUS).
+	RequestTimeoutUS int64
+}
+
+// Default degraded-mode retry policy, applied where the corresponding
+// Config field is zero: up to 4 retries, 500 µs base backoff (doubling,
+// capped at 8× the base), 50 ms request deadline — a deadline a few times
+// the positioned service time of the default disk, so a healthy queue
+// never trips it.
+const (
+	DefaultMaxRetries       = 4
+	DefaultRetryBackoffUS   = int64(500)
+	DefaultRequestTimeoutUS = int64(50_000)
+)
+
+// FaultPlan resolves the effective fault schedule: the explicit
+// FaultSchedule if set, a generated one if FaultIntensity > 0, nil when
+// healthy.
+func (c Config) FaultPlan() *fault.Schedule {
+	if c.FaultSchedule != nil {
+		return c.FaultSchedule
+	}
+	if c.FaultIntensity > 0 {
+		return fault.Generate(c.FaultSeed, c.StorageNodes, c.FaultIntensity)
+	}
+	return nil
 }
 
 // DefaultConfig mirrors Table 1 at the simulator's element scale: the
@@ -106,6 +154,22 @@ func (c Config) Validate() error {
 	}
 	if c.IOCacheBlocks < 0 || c.StorageCacheBlocks < 0 {
 		return fmt.Errorf("sim: cache capacities must be non-negative")
+	}
+	if err := c.Disk.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if c.FaultIntensity < 0 || c.FaultIntensity > 1 {
+		return fmt.Errorf("sim: fault intensity %v outside [0, 1]", c.FaultIntensity)
+	}
+	if err := c.FaultSchedule.Validate(c.StorageNodes); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("sim: negative retry limit %d", c.MaxRetries)
+	}
+	if c.RetryBackoffUS < 0 || c.RequestTimeoutUS < 0 {
+		return fmt.Errorf("sim: negative retry backoff (%d µs) or request timeout (%d µs)",
+			c.RetryBackoffUS, c.RequestTimeoutUS)
 	}
 	if c.Mapping != nil {
 		if c.Mapping.Len() != c.Threads() {

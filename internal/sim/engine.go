@@ -3,7 +3,9 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math/rand"
 
+	"flopt/internal/fault"
 	"flopt/internal/storage/cache"
 	"flopt/internal/storage/disk"
 	"flopt/internal/storage/stripe"
@@ -32,6 +34,18 @@ type Report struct {
 	Prefetches int64
 	// PolicyName records the cache policy used.
 	PolicyName string
+
+	// Degraded-mode statistics (all zero on a healthy platform).
+	// Retries counts re-issued disk read attempts after transient errors.
+	Retries int64
+	// Timeouts counts requests whose retry budget or deadline expired.
+	Timeouts int64
+	// DegradedReads counts reads served by replica reconstruction after a
+	// timeout.
+	DegradedReads int64
+	// FailedOverBlocks counts requests rerouted to the replica stripe
+	// because the owning storage node was unreachable.
+	FailedOverBlocks int64
 }
 
 // IOMissRate and StorageMissRate expose the Table 2/3 metrics.
@@ -56,6 +70,19 @@ type Machine struct {
 	streams []map[streamKey]struct{}
 	// prefetches counts readahead fills performed.
 	prefetches int64
+
+	// faults is the resolved fault schedule; nil on a healthy platform.
+	faults *fault.Schedule
+	// rng drives the transient-error stream. serve runs serially inside
+	// Run, so a single seeded source replays identically regardless of
+	// how many runs execute concurrently on other Machines.
+	rng *rand.Rand
+	// Effective degraded-mode retry policy (ns), resolved from cfg with
+	// the package defaults filling zero fields.
+	maxRetries           int
+	backoffNS, timeoutNS int64
+	// Degraded-mode counters (see Report).
+	retries, timeouts, degradedReads, failedOver int64
 }
 
 // SetFileBlocks records each file's length in blocks so readahead stops at
@@ -91,6 +118,25 @@ func NewMachine(cfg Config, hints []cache.RangeHint) (*Machine, error) {
 	}
 	for t := range m.ioOf {
 		m.ioOf[t] = cfg.IONodeOf(t)
+	}
+	if plan := cfg.FaultPlan(); !plan.Healthy() {
+		if err := plan.Validate(cfg.StorageNodes); err != nil {
+			return nil, err
+		}
+		m.faults = plan
+		m.rng = rand.New(rand.NewSource(cfg.FaultSeed))
+		m.maxRetries = cfg.MaxRetries
+		if m.maxRetries == 0 {
+			m.maxRetries = DefaultMaxRetries
+		}
+		m.backoffNS = 1000 * cfg.RetryBackoffUS
+		if m.backoffNS == 0 {
+			m.backoffNS = 1000 * DefaultRetryBackoffUS
+		}
+		m.timeoutNS = 1000 * cfg.RequestTimeoutUS
+		if m.timeoutNS == 0 {
+			m.timeoutNS = 1000 * DefaultRequestTimeoutUS
+		}
 	}
 	return m, nil
 }
@@ -189,12 +235,17 @@ func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
 		rep.Demotions = dl.Demotions()
 	}
 	rep.Prefetches = m.prefetches
+	rep.Retries, rep.Timeouts = m.retries, m.timeouts
+	rep.DegradedReads, rep.FailedOverBlocks = m.degradedReads, m.failedOver
 	return rep, nil
 }
 
 // serve routes one block request issued by thread t at the given virtual
 // time (ns) and returns its latency in nanoseconds.
 func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
+	if m.faults != nil {
+		return m.serveFaulty(now, t, acc)
+	}
 	io := m.ioOf[t]
 	st := m.striper.NodeOf(acc.Block)
 	blk := cache.BlockID{File: acc.File, Block: acc.Block}
@@ -218,7 +269,7 @@ func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
 		key := streamKey{file: acc.File, next: local}
 		if _, ok := m.streams[st][key]; ok {
 			delete(m.streams[st], key)
-			m.readahead(acc)
+			m.readahead(now, acc)
 		} else if len(m.streams[st]) > maxStreams {
 			m.streams[st] = map[streamKey]struct{}{} // crude expiry
 		}
@@ -228,6 +279,102 @@ func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
 		lat += 1000 * m.cfg.NetISUS
 	}
 	return lat
+}
+
+// serveFaulty is serve's degraded-mode twin: outage-aware failover
+// routing to the replica stripe, transient-error retries with capped
+// exponential backoff, and replica reconstruction once the request
+// deadline expires. Every injected delay lands on the calling thread's
+// virtual clock, so fault runs replay bit-identically from the same seed.
+func (m *Machine) serveFaulty(now int64, t int, acc trace.Access) int64 {
+	io := m.ioOf[t]
+	st := m.striper.NodeOf(acc.Block)
+	// Failover routing: requests owned by an unreachable storage node go
+	// to the node holding the replica stripe (chained declustering). On a
+	// single-node platform there is nowhere to fail over to.
+	down := m.cfg.StorageNodes > 1 && m.faults.NodeDownAt(st, now)
+	if down {
+		st = m.striper.ReplicaOf(acc.Block, 1)
+	}
+	blk := cache.BlockID{File: acc.File, Block: acc.Block}
+	out := m.mgr.Read(io, st, blk)
+
+	lat := m.cfg.CPUPerElemNS*int64(acc.Elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
+	if down && out.Level != cache.HitIO {
+		// The redirect only costs (and counts) when the request actually
+		// leaves the I/O node.
+		m.failedOver++
+		lat += 1000 * m.cfg.NetISUS
+	}
+	switch out.Level {
+	case cache.HitIO:
+		// done
+	case cache.HitStorage:
+		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
+	case cache.HitDisk:
+		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
+		arrive := now + lat
+		lat += m.diskReadFaulty(arrive, st, acc)
+		local := m.striper.LocalIndex(acc.Block)
+		key := streamKey{file: acc.File, next: local}
+		if _, ok := m.streams[st][key]; ok {
+			delete(m.streams[st], key)
+			m.readahead(now, acc)
+		} else if len(m.streams[st]) > maxStreams {
+			m.streams[st] = map[streamKey]struct{}{} // crude expiry
+		}
+		m.streams[st][streamKey{file: acc.File, next: local + 1}] = struct{}{}
+	}
+	if out.Demoted {
+		lat += 1000 * m.cfg.NetISUS
+	}
+	return lat
+}
+
+// diskReadFaulty performs the device read of a demand miss on storage
+// node st under fault injection — fail-slow scaling plus transient read
+// errors — and returns the latency beyond arrive. A failed attempt pays
+// its full (possibly degraded) service time, then backs off; when the
+// retry budget or the request deadline runs out, the read is served by
+// replica reconstruction instead.
+func (m *Machine) diskReadFaulty(arrive int64, st int, acc trace.Access) int64 {
+	local := m.striper.LocalIndex(acc.Block)
+	rate := m.faults.TransientErrorRate
+	deadline := arrive + m.timeoutNS
+	at := arrive
+	backoff := m.backoffNS
+	for attempt := 0; ; attempt++ {
+		done, _ := m.disks[st].ReadScaled(at, acc.File, local, m.faults.SlowFactorAt(st, at))
+		if rate <= 0 || m.rng.Float64() >= rate {
+			return done - arrive
+		}
+		if attempt >= m.maxRetries || done+backoff > deadline {
+			m.timeouts++
+			return m.reconstruct(done, st, acc.File, local, acc.Block) - arrive
+		}
+		m.retries++
+		at = done + backoff
+		if backoff < 8*m.backoffNS {
+			backoff *= 2
+		}
+	}
+}
+
+// reconstruct serves a read whose primary attempts exhausted their retry
+// budget from the block's other stripe copy — a degraded read. When the
+// platform has no second copy (single storage node, or the request
+// already failed over to the replica and back), the cost of one more
+// positioned read on the surviving copy models parity reconstruction.
+// Reconstruction always succeeds: it is the path of last resort, which is
+// what guarantees the simulator terminates under any schedule.
+func (m *Machine) reconstruct(at int64, st int, file int32, local, block int64) (doneNS int64) {
+	m.degradedReads++
+	rep := m.striper.ReplicaOf(block, 1)
+	if rep == st {
+		rep = m.striper.NodeOf(block)
+	}
+	done, _ := m.disks[rep].ReadScaled(at, file, local, m.faults.SlowFactorAt(rep, at))
+	return done
 }
 
 // streamKey identifies one expected stream continuation on a storage node.
@@ -244,8 +391,10 @@ const maxStreams = 4096
 // caches after a demand disk read (when enabled). Each prefetched block
 // pays its transfer time on the disk that owns its stripe — delaying
 // queued demand reads, which is the realistic cost of speculation — but
-// adds nothing to the requester's latency.
-func (m *Machine) readahead(acc trace.Access) {
+// adds nothing to the requester's latency. Under fault injection,
+// unreachable nodes are skipped (nobody speculates into a dead node) and
+// fail-slow scaling applies.
+func (m *Machine) readahead(now int64, acc trace.Access) {
 	if m.cfg.ReadaheadBlocks <= 0 {
 		return
 	}
@@ -259,15 +408,24 @@ func (m *Machine) readahead(acc trace.Access) {
 			break // end of file
 		}
 		st := m.striper.NodeOf(next)
+		if m.faults != nil && m.faults.NodeDownAt(st, now) {
+			continue
+		}
 		blk := cache.BlockID{File: acc.File, Block: next}
 		if pf.PrefetchStorage(st, blk) {
-			m.disks[st].Read(0, acc.File, m.striper.LocalIndex(next))
+			scale := 1.0
+			if m.faults != nil {
+				scale = m.faults.SlowFactorAt(st, now)
+			}
+			m.disks[st].ReadScaled(0, acc.File, m.striper.LocalIndex(next), scale)
 			m.prefetches++
 		}
 	}
 }
 
-// Reset clears all caches, disks and counters for a fresh cold run.
+// Reset clears all caches, disks and counters for a fresh cold run. The
+// transient-error stream is reseeded, so a Reset machine replays the same
+// faults the next Run.
 func (m *Machine) Reset() {
 	m.mgr.Reset()
 	for i, d := range m.disks {
@@ -275,6 +433,10 @@ func (m *Machine) Reset() {
 		m.streams[i] = map[streamKey]struct{}{}
 	}
 	m.prefetches = 0
+	if m.faults != nil {
+		m.rng = rand.New(rand.NewSource(m.cfg.FaultSeed))
+	}
+	m.retries, m.timeouts, m.degradedReads, m.failedOver = 0, 0, 0, 0
 }
 
 // Simulate is the one-shot convenience wrapper: build a machine, run the

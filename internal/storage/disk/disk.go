@@ -27,6 +27,22 @@ func DefaultParams() Params {
 	return Params{AvgSeekNS: 5_000_000, RPM: 10000, TransferNSPerBlock: 1_280_000}
 }
 
+// Validate rejects parameters that would silently model a physically
+// impossible device (zero rotational delay, free seeks, instant
+// transfers).
+func (p Params) Validate() error {
+	if p.AvgSeekNS <= 0 {
+		return fmt.Errorf("disk: non-positive average seek time %d ns", p.AvgSeekNS)
+	}
+	if p.RPM <= 0 {
+		return fmt.Errorf("disk: non-positive spindle speed %d RPM", p.RPM)
+	}
+	if p.TransferNSPerBlock <= 0 {
+		return fmt.Errorf("disk: non-positive transfer time %d ns/block", p.TransferNSPerBlock)
+	}
+	return nil
+}
+
 // RotationalNS returns the modeled rotational delay (half a revolution).
 func (p Params) RotationalNS() int64 {
 	if p.RPM <= 0 {
@@ -78,6 +94,13 @@ func (d *Disk) Read(arrivalNS int64, file int32, block int64) (doneNS int64) {
 // sequential fast path (used by the storage nodes' stream-detecting
 // readahead).
 func (d *Disk) ReadSeq(arrivalNS int64, file int32, block int64) (doneNS int64, seq bool) {
+	return d.ReadScaled(arrivalNS, file, block, 1)
+}
+
+// ReadScaled is ReadSeq with the service time multiplied by scale — the
+// fail-slow injection point: a degraded device serves the same requests,
+// only slower. Scales ≤ 1 leave the device at nominal speed.
+func (d *Disk) ReadScaled(arrivalNS int64, file int32, block int64, scale float64) (doneNS int64, seq bool) {
 	start := arrivalNS
 	if d.busyUntil > start {
 		start = d.busyUntil
@@ -87,6 +110,9 @@ func (d *Disk) ReadSeq(arrivalNS int64, file int32, block int64) (doneNS int64, 
 		svc = d.params.TransferNSPerBlock
 		d.seqReads++
 		seq = true
+	}
+	if scale > 1 {
+		svc = int64(float64(svc) * scale)
 	}
 	d.reads++
 	d.busyTimeNS += svc

@@ -75,6 +75,46 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestReadScaled(t *testing.T) {
+	d := New(DefaultParams())
+	pos := DefaultParams().PositionedServiceNS()
+	// A 4x fail-slow read takes four times the positioned service time.
+	done, seq := d.ReadScaled(0, 0, 10, 4)
+	if done != 4*pos || seq {
+		t.Errorf("scaled read done at %d (seq=%v), want %d", done, seq, 4*pos)
+	}
+	// Sequential detection still works under scaling, applied to the
+	// transfer-only service.
+	xfer := DefaultParams().TransferNSPerBlock
+	done2, seq := d.ReadScaled(done, 0, 11, 4)
+	if !seq || done2 != done+4*xfer {
+		t.Errorf("scaled sequential read done at %d (seq=%v), want %d", done2, seq, done+4*xfer)
+	}
+	// Scale ≤ 1 is nominal speed.
+	if done3, _ := d.ReadScaled(done2, 0, 12, 0.5); done3 != done2+xfer {
+		t.Error("scale below 1 altered nominal service time")
+	}
+	if d.BusyNS() != 4*pos+4*xfer+xfer {
+		t.Errorf("busy = %d", d.BusyNS())
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Params{
+		{AvgSeekNS: 0, RPM: 10000, TransferNSPerBlock: 1},
+		{AvgSeekNS: 1, RPM: 0, TransferNSPerBlock: 1},
+		{AvgSeekNS: 1, RPM: 10000, TransferNSPerBlock: 0},
+		{AvgSeekNS: -1, RPM: -1, TransferNSPerBlock: -1},
+	} {
+		if p.Validate() == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
 func TestNewPanicsOnBadParams(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -36,3 +36,14 @@ func (s Striping) NodeOf(block int64) int {
 func (s Striping) LocalIndex(block int64) int64 {
 	return block / int64(s.nodes)
 }
+
+// ReplicaOf returns the storage node holding copy r of the block: copies
+// are placed on consecutive nodes after the primary (chained
+// declustering), so copy 0 is NodeOf(block) and copy 1 is the failover
+// target when the primary node is unreachable.
+func (s Striping) ReplicaOf(block int64, r int) int {
+	if r < 0 {
+		panic(fmt.Sprintf("stripe: negative replica index %d", r))
+	}
+	return (s.NodeOf(block) + r) % s.nodes
+}

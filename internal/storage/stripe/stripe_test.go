@@ -26,6 +26,30 @@ func TestSingleNode(t *testing.T) {
 	}
 }
 
+func TestReplicaOf(t *testing.T) {
+	s := New(4)
+	for b := int64(0); b < 8; b++ {
+		if s.ReplicaOf(b, 0) != s.NodeOf(b) {
+			t.Errorf("copy 0 of block %d not on primary", b)
+		}
+		if got, want := s.ReplicaOf(b, 1), (s.NodeOf(b)+1)%4; got != want {
+			t.Errorf("ReplicaOf(%d, 1) = %d, want %d", b, got, want)
+		}
+	}
+	// Single-node striping: every copy is the one node.
+	if New(1).ReplicaOf(3, 1) != 0 {
+		t.Error("single-node replica should be node 0")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative replica index should panic")
+			}
+		}()
+		s.ReplicaOf(0, -1)
+	}()
+}
+
 func TestPanics(t *testing.T) {
 	func() {
 		defer func() {

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # bench_harness.sh — measure the two headline harness benchmarks
 # (BenchmarkTable2Default, BenchmarkSimulatorThroughput) and print their
 # best-of-3 wall-clock as a JSON fragment on stdout.
@@ -8,7 +8,7 @@
 # The checked-in BENCH_harness.json records one before/after pair per perf
 # PR; rerun this script on your machine and splice the output in to extend
 # the trajectory.
-set -eu
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=$(go test -run '^$' -bench '^(BenchmarkTable2Default|BenchmarkSimulatorThroughput)$' \
