@@ -9,7 +9,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check lint test race verify bench bench-harness
+.PHONY: build vet fmt-check deprecations lint test race verify bench bench-harness
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,16 @@ fmt-check:
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
 	fi
 
-lint: vet fmt-check
+# The deprecated pre-options entry points survive for external callers
+# only; nothing in this repo may use them.
+deprecations:
+	@out=$$(grep -rnE 'flopt\.(RunDefault|RunOptimized|RunWithLayouts)\(' cmd internal examples 2>/dev/null); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated Run wrappers still called (use flopt.Run with options):" >&2; \
+		echo "$$out" >&2; exit 1; \
+	fi
+
+lint: vet fmt-check deprecations
 
 test:
 	$(GO) test ./...

@@ -16,6 +16,7 @@ package flopt
 // See EXPERIMENTS.md for the paper-vs-measured comparison of every row.
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -36,11 +37,11 @@ func runner() *exp.Runner {
 	return benchRunner
 }
 
-func benchTable(b *testing.B, fn func(*exp.Runner, sim.Config) (*exp.Table, error), metrics func(*exp.Table, *testing.B)) {
+func benchTable(b *testing.B, fn func(context.Context, *exp.Runner, sim.Config) (*exp.Table, error), metrics func(*exp.Table, *testing.B)) {
 	b.Helper()
 	cfg := sim.DefaultConfig()
 	for i := 0; i < b.N; i++ {
-		t, err := fn(runner(), cfg)
+		t, err := fn(context.Background(), runner(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,9 +162,37 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ResetTimer()
 	var accesses int64
 	for i := 0; i < b.N; i++ {
-		rep, err := RunDefault(p, cfg)
+		rep, err := Run(context.Background(), p, cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		accesses = rep.Accesses
+	}
+	b.ReportMetric(float64(accesses), "requests/run")
+}
+
+// BenchmarkSimulatorThroughputMetrics is BenchmarkSimulatorThroughput with
+// the metrics collector attached; the delta between the two is the
+// observability overhead bench_harness.sh tracks (budget: ≤ a few percent).
+func BenchmarkSimulatorThroughputMetrics(b *testing.B) {
+	w, err := WorkloadByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	var accesses int64
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(context.Background(), p, cfg, WithMetrics())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Metrics == nil {
+			b.Fatal("metrics not collected")
 		}
 		accesses = rep.Accesses
 	}

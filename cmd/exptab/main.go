@@ -10,17 +10,21 @@
 //	exptab -exp all -parallel 1      # fully serial (reference path)
 //	exptab -exp faults -seed 42      # fault sweep: wins vs fault intensity
 //	exptab -exp table2 -faults 0.5   # base tables on a degraded cluster
+//	exptab -exp table2 -metrics-out cells.jsonl   # per-cell metric snapshots
 //
 // Experiments: table1, table2, table3, fig7a … fig7h, optstats,
-// ablations, prefetch, faults, all. The emitted tables are bit-identical
-// for every -parallel value — with or without fault injection; only
-// wall-clock changes.
+// ablations, prefetch, faults, all. The emitted tables — and the
+// -metrics-out snapshots — are bit-identical for every -parallel value,
+// with or without fault injection; only wall-clock changes. ^C cancels
+// the in-flight cells promptly instead of waiting out the grid.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
@@ -29,17 +33,78 @@ import (
 	"flopt/internal/sim"
 )
 
+// expFn builds one table; every builder takes the run context first so ^C
+// propagates into the experiment cells.
+type expFn func(context.Context, *exp.Runner, sim.Config) (*exp.Table, error)
+
+var builders = map[string]expFn{
+	"table2":    exp.Table2,
+	"table3":    exp.Table3,
+	"fig7a":     exp.Fig7a,
+	"fig7b":     exp.Fig7b,
+	"fig7c":     exp.Fig7c,
+	"fig7d":     exp.Fig7d,
+	"fig7e":     exp.Fig7e,
+	"fig7f":     exp.Fig7f,
+	"fig7g":     exp.Fig7g,
+	"fig7h":     exp.Fig7h,
+	"optstats":  exp.OptStats,
+	"ablations": exp.Ablations,
+	"prefetch":  exp.Prefetch,
+	"faults":    exp.FaultSweep,
+}
+
+var order = []string{"table1", "table2", "table3", "fig7a", "fig7b", "fig7c",
+	"fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "optstats", "ablations", "prefetch", "faults"}
+
+// selectExperiments expands and validates the -exp list against the known
+// builder names (plus table1, which has no runner).
+func selectExperiments(list string) (map[string]bool, error) {
+	want := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, n := range order {
+				want[n] = true
+			}
+			continue
+		}
+		if name != "table1" {
+			if _, ok := builders[name]; !ok {
+				return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
+					name, strings.Join(order, ", "))
+			}
+		}
+		want[name] = true
+	}
+	return want, nil
+}
+
+// validateSeed rejects an explicit -seed that cannot influence anything:
+// it matters only with -faults > 0, or for the faults experiment (which
+// sweeps intensities itself from the seed).
+func validateSeed(seedSet bool, faults float64, want map[string]bool) error {
+	if seedSet && faults <= 0 && !want["faults"] {
+		return fmt.Errorf("-seed has no effect without -faults > 0 (or -exp faults)")
+	}
+	return nil
+}
+
 func main() {
 	var (
-		expList   = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig7a..fig7h,optstats,ablations,prefetch,faults,all")
-		verbose   = flag.Bool("v", false, "print per-run progress and per-table wall-clock")
-		policy    = flag.String("policy", "lru", "cache policy for the base experiments: lru, demote, karma")
-		ioCache   = flag.Int("io-cache", 0, "override I/O cache blocks")
-		stCache   = flag.Int("storage-cache", 0, "override storage cache blocks")
-		blockSize = flag.Int64("block", 0, "override block size in elements")
-		parallelN = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment cells and trace generation (1 = serial)")
-		faults    = flag.Float64("faults", 0, "fault-injection intensity in [0,1] applied to the base experiments (0 = healthy; the faults experiment sweeps intensities itself)")
-		seed      = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical fault runs")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,table2,table3,fig7a..fig7h,optstats,ablations,prefetch,faults,all")
+		verbose    = flag.Bool("v", false, "print per-run progress and per-table wall-clock")
+		policy     = flag.String("policy", "lru", "cache policy for the base experiments: lru, demote, karma")
+		ioCache    = flag.Int("io-cache", 0, "override I/O cache blocks")
+		stCache    = flag.Int("storage-cache", 0, "override storage cache blocks")
+		blockSize  = flag.Int64("block", 0, "override block size in elements")
+		parallelN  = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for experiment cells and trace generation (1 = serial)")
+		faults     = flag.Float64("faults", 0, "fault-injection intensity in [0,1] applied to the base experiments (0 = healthy; the faults experiment sweeps intensities itself)")
+		seed       = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical fault runs")
+		metricsOut = flag.String("metrics-out", "", "write one JSONL metric snapshot per experiment cell to this file")
 	)
 	flag.Parse()
 
@@ -51,6 +116,18 @@ func main() {
 	// fully serial process even for code that sizes itself off GOMAXPROCS.
 	if *parallelN < runtime.GOMAXPROCS(0) {
 		runtime.GOMAXPROCS(*parallelN)
+	}
+
+	want, err := selectExperiments(*expList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exptab:", err)
+		os.Exit(1)
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateSeed(set["seed"], *faults, want); err != nil {
+		fmt.Fprintln(os.Stderr, "exptab:", err)
+		os.Exit(1)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -74,48 +151,10 @@ func main() {
 	runner := exp.NewRunner()
 	runner.Verbose = *verbose
 	runner.Parallel = *parallelN
+	runner.CollectMetrics = *metricsOut != ""
 
-	type expFn func(*exp.Runner, sim.Config) (*exp.Table, error)
-	table := map[string]expFn{
-		"table2":    exp.Table2,
-		"table3":    exp.Table3,
-		"fig7a":     exp.Fig7a,
-		"fig7b":     exp.Fig7b,
-		"fig7c":     exp.Fig7c,
-		"fig7d":     exp.Fig7d,
-		"fig7e":     exp.Fig7e,
-		"fig7f":     exp.Fig7f,
-		"fig7g":     exp.Fig7g,
-		"fig7h":     exp.Fig7h,
-		"optstats":  exp.OptStats,
-		"ablations": exp.Ablations,
-		"prefetch":  exp.Prefetch,
-		"faults":    exp.FaultSweep,
-	}
-	order := []string{"table1", "table2", "table3", "fig7a", "fig7b", "fig7c",
-		"fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "optstats", "ablations", "prefetch", "faults"}
-
-	want := map[string]bool{}
-	for _, name := range strings.Split(*expList, ",") {
-		name = strings.TrimSpace(strings.ToLower(name))
-		if name == "" {
-			continue
-		}
-		if name == "all" {
-			for _, n := range order {
-				want[n] = true
-			}
-			continue
-		}
-		if name != "table1" {
-			if _, ok := table[name]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %s, all)\n",
-					name, strings.Join(order, ", "))
-				os.Exit(1)
-			}
-		}
-		want[name] = true
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	total := time.Now()
 	for _, name := range order {
@@ -127,7 +166,7 @@ func main() {
 			fmt.Println(exp.Table1(cfg))
 			continue
 		}
-		t, err := table[name](runner, cfg)
+		t, err := builders[name](ctx, runner, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
@@ -139,5 +178,22 @@ func main() {
 	}
 	if *verbose {
 		fmt.Printf("[all requested experiments took %v]\n", time.Since(total).Round(time.Millisecond))
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exptab:", err)
+			os.Exit(1)
+		}
+		werr := runner.WriteMetricsJSONL(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "exptab:", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d cell snapshots to %s\n", runner.MetricCells(), *metricsOut)
 	}
 }

@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestSelectExperiments(t *testing.T) {
+	want, err := selectExperiments("table2, FIG7A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want["table2"] || !want["fig7a"] || len(want) != 2 {
+		t.Errorf("selection = %v", want)
+	}
+	all, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(order) {
+		t.Errorf("all selects %d of %d experiments", len(all), len(order))
+	}
+	if _, err := selectExperiments("table2,nonesuch"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Every name in order except table1 must have a builder, and vice versa.
+	for _, name := range order {
+		if name == "table1" {
+			continue
+		}
+		if _, ok := builders[name]; !ok {
+			t.Errorf("ordered experiment %q has no builder", name)
+		}
+	}
+	if len(builders) != len(order)-1 {
+		t.Errorf("%d builders for %d ordered experiments", len(builders), len(order))
+	}
+}
+
+func TestValidateSeed(t *testing.T) {
+	if err := validateSeed(true, 0, map[string]bool{"table2": true}); err == nil {
+		t.Error("orphan -seed accepted")
+	}
+	if err := validateSeed(true, 0.5, map[string]bool{"table2": true}); err != nil {
+		t.Errorf("seed with faults rejected: %v", err)
+	}
+	if err := validateSeed(true, 0, map[string]bool{"faults": true}); err != nil {
+		t.Errorf("seed with -exp faults rejected: %v", err)
+	}
+	if err := validateSeed(false, 0, map[string]bool{"table2": true}); err != nil {
+		t.Errorf("default seed rejected: %v", err)
+	}
+}

@@ -8,12 +8,15 @@
 //	runsim -workload swim -scheme inter -policy demote
 //	runsim -src program.fl -scheme inter
 //	runsim -workload swim -faults 0.5 -seed 42   # degraded cluster (deterministic)
+//	runsim -workload swim -metrics               # per-layer / per-array breakdown
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"flopt"
@@ -33,11 +36,19 @@ func main() {
 		parallelN = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for trace generation (1 = serial)")
 		faults    = flag.Float64("faults", 0, "fault-injection intensity in [0,1] (0 = healthy platform)")
 		seed      = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical runs")
+		metrics   = flag.Bool("metrics", false, "collect and print the per-layer/per-array/per-node metrics breakdown")
 	)
 	flag.Parse()
 
-	if *parallelN < 1 {
-		fail(fmt.Errorf("-parallel must be ≥ 1"))
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(runFlags{
+		workload: *workload, src: *src, scheme: *scheme, policy: *policy,
+		parallel: *parallelN, faults: *faults, seedSet: set["seed"],
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "runsim:", err)
+		fmt.Fprintln(os.Stderr, "usage: runsim -workload <name> | -src <file> [-scheme s] [-policy p] [-metrics]")
+		os.Exit(2)
 	}
 	// Cap the scheduler so -parallel 1 restores a fully serial process
 	// even for the -src path, whose trace generation sizes itself off
@@ -59,9 +70,13 @@ func main() {
 	}
 	cfg.FaultIntensity = *faults
 	cfg.FaultSeed = *seed
+	cfg.Metrics = *metrics
 	if err := cfg.Validate(); err != nil {
 		fail(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var rep *sim.Report
 	switch {
@@ -69,7 +84,7 @@ func main() {
 		runner := exp.NewRunner()
 		runner.Parallel = *parallelN
 		var err error
-		rep, err = runner.Run(*workload, cfg, exp.Scheme(*scheme))
+		rep, err = runner.RunContext(ctx, *workload, cfg, exp.Scheme(*scheme))
 		if err != nil {
 			fail(err)
 		}
@@ -82,24 +97,18 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		switch *scheme {
-		case "default":
-			rep, err = flopt.RunDefault(p, cfg)
-		case "inter":
+		var opts []flopt.RunOption
+		if *scheme == "inter" {
 			res, oerr := flopt.Optimize(p, cfg)
 			if oerr != nil {
 				fail(oerr)
 			}
-			rep, err = flopt.RunOptimized(p, cfg, res)
-		default:
-			fail(fmt.Errorf("scheme %q requires -workload (it needs the experiment runner)", *scheme))
+			opts = append(opts, flopt.WithResult(res))
 		}
+		rep, err = flopt.Run(ctx, p, cfg, opts...)
 		if err != nil {
 			fail(err)
 		}
-	default:
-		fmt.Fprintln(os.Stderr, "usage: runsim -workload <name> | -src <file> [-scheme s] [-policy p]")
-		os.Exit(2)
 	}
 
 	fmt.Printf("policy            %s\n", rep.PolicyName)
@@ -116,6 +125,12 @@ func main() {
 		fmt.Printf("fault injection   intensity %.2f, seed %d\n", *faults, *seed)
 		fmt.Printf("degraded mode     %d retries, %d timeouts, %d degraded reads, %d failed-over blocks\n",
 			rep.Retries, rep.Timeouts, rep.DegradedReads, rep.FailedOverBlocks)
+	}
+	if *metrics {
+		if rep.Metrics == nil {
+			fail(fmt.Errorf("metrics requested but no snapshot collected"))
+		}
+		printMetrics(os.Stdout, rep.Metrics)
 	}
 }
 

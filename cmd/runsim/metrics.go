@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flopt"
+)
+
+// printMetrics renders the snapshot's per-layer breakdowns in the report's
+// plain-text style: totals, then each array, then the storage nodes and
+// cache instances, then the event summary.
+func printMetrics(w io.Writer, m *flopt.Metrics) {
+	fmt.Fprintf(w, "\n--- metrics ---\n")
+	fmt.Fprintf(w, "%-14s %10s %8s %8s %8s %7s %7s %9s\n",
+		"array", "accesses", "io", "storage", "disk", "ioHit%", "stHit%", "avg-us")
+	row := func(name string, b flopt.LayerBreakdown) {
+		fmt.Fprintf(w, "%-14s %10d %8d %8d %8d %7.1f %7.1f %9.1f\n",
+			name, b.Accesses, b.ServedIO, b.ServedStorage, b.ServedDisk,
+			b.IOHitPct, b.StorageHitPct, b.AvgLatencyUS)
+	}
+	row("(total)", m.Totals)
+	names := make([]string, 0, len(m.Arrays))
+	for name := range m.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row(name, m.Arrays[name])
+	}
+
+	if len(m.Nodes) > 0 {
+		fmt.Fprintf(w, "\n%-6s %10s %10s %10s %10s\n", "node", "reads", "seq", "avg-svc-us", "primary")
+		for _, n := range m.Nodes {
+			fmt.Fprintf(w, "%-6d %10d %10d %10.1f %10d\n",
+				n.Node, n.Reads, n.SeqReads, n.AvgServiceUS, n.PrimaryBlocks)
+		}
+	}
+	cacheLine := func(label string, cs []flopt.CacheNodeStats) {
+		var acc, hits, evict int64
+		for _, c := range cs {
+			acc += c.Accesses
+			hits += c.Hits
+			evict += c.Evictions
+		}
+		missPct := 0.0
+		if acc > 0 {
+			missPct = 100 * float64(acc-hits) / float64(acc)
+		}
+		fmt.Fprintf(w, "%-14s %d instances, %d accesses, %.1f%% miss, %d evictions\n",
+			label, len(cs), acc, missPct, evict)
+	}
+	fmt.Fprintln(w)
+	if len(m.IOCaches) > 0 {
+		cacheLine("io caches", m.IOCaches)
+	}
+	if len(m.StoreCaches) > 0 {
+		cacheLine("storage caches", m.StoreCaches)
+	}
+	if h, ok := m.LatencyUS[flopt.HistRequestLatency]; ok {
+		fmt.Fprintf(w, "request latency  count %d, mean %.1f us, max %d us\n", h.Count, h.Mean, h.Max)
+	}
+	fmt.Fprintf(w, "events           %d recorded, %d dropped\n", m.Events.Total, m.Events.Dropped)
+	kinds := make([]string, 0, len(m.Events.ByKind))
+	for k := range m.Events.ByKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-22s %d\n", k, m.Events.ByKind[flopt.EventKind(k)])
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -55,11 +56,11 @@ func improvement(p *flopt.Program, cfg flopt.Config) float64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	before, err := flopt.RunDefault(p, cfg)
+	before, err := flopt.Run(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := flopt.RunOptimized(p, cfg, res)
+	after, err := flopt.Run(context.Background(), p, cfg, flopt.WithResult(res))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,11 +60,11 @@ func main() {
 	opt, total := res.OptimizedCount()
 	fmt.Printf("optimized %d/%d arrays\n\n", opt, total)
 
-	before, err := flopt.RunDefault(p, cfg)
+	before, err := flopt.Run(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := flopt.RunOptimized(p, cfg, res)
+	after, err := flopt.Run(context.Background(), p, cfg, flopt.WithResult(res))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,11 +40,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		before, err := flopt.RunDefault(p, cfg)
+		before, err := flopt.Run(context.Background(), p, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		after, err := flopt.RunOptimized(p, cfg, res)
+		after, err := flopt.Run(context.Background(), p, cfg, flopt.WithResult(res))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,11 +47,11 @@ func main() {
 	}
 	fmt.Printf("Step II — layout pattern: %s\n\n", res.Pattern)
 
-	before, err := flopt.RunDefault(p, cfg)
+	before, err := flopt.Run(context.Background(), p, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := flopt.RunOptimized(p, cfg, res)
+	after, err := flopt.Run(context.Background(), p, cfg, flopt.WithResult(res), flopt.WithMetrics())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,5 +60,14 @@ func main() {
 		float64(before.ExecTimeUS)/1e6, 100*before.IOMissRate(), 100*before.StorageMissRate())
 	fmt.Printf("optimized execution: %8.3f s  (io miss %5.1f%%, storage miss %5.1f%%)\n",
 		float64(after.ExecTimeUS)/1e6, 100*after.IOMissRate(), 100*after.StorageMissRate())
-	fmt.Printf("improvement: %.1f%%\n", 100*flopt.Improvement(before, after))
+	fmt.Printf("improvement: %.1f%%\n\n", 100*flopt.Improvement(before, after))
+
+	// WithMetrics put a per-array, per-layer snapshot on the report: see
+	// which array the optimization actually moved off the disk.
+	fmt.Println("optimized run, per array (from Report.Metrics):")
+	for _, name := range []string{"A", "B"} {
+		b := after.Metrics.Arrays[name]
+		fmt.Printf("  %s: io hit %5.1f%%, storage hit %5.1f%%, disk %5.1f%%, avg latency %.0f µs\n",
+			name, b.IOHitPct, b.StorageHitPct, b.DiskPct, b.AvgLatencyUS)
+	}
 }

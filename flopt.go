@@ -15,19 +15,26 @@
 //     thread-interleaved, storage-hierarchy-aware layout pattern
 //     (Algorithm 1).
 //   - A deterministic trace-driven simulator of the paper's evaluation
-//     platform (RunDefault / RunOptimized / RunWithLayouts): compute
-//     nodes, I/O-node and storage-node block caches (LRU-inclusive,
-//     KARMA, DEMOTE-LRU), PVFS-style striping, and a seek/rotation disk
-//     model.
+//     platform (Run): compute nodes, I/O-node and storage-node block
+//     caches (LRU-inclusive, KARMA, DEMOTE-LRU), PVFS-style striping,
+//     and a seek/rotation disk model, with a pluggable observability
+//     layer (Observer, Metrics) explaining per-layer behavior.
 //
 // A minimal end-to-end use:
 //
 //	p, _ := flopt.Compile("example", src)
 //	cfg := flopt.DefaultConfig()
 //	res, _ := flopt.Optimize(p, cfg)
-//	before, _ := flopt.RunDefault(p, cfg)
-//	after, _ := flopt.RunOptimized(p, cfg, res)
+//	before, _ := flopt.Run(ctx, p, cfg)
+//	after, _ := flopt.Run(ctx, p, cfg, flopt.WithResult(res))
 //	fmt.Printf("%.1f%% faster\n", 100*(1-float64(after.ExecTimeUS)/float64(before.ExecTimeUS)))
+//
+// Run takes functional options: WithResult simulates the optimizer's
+// output, WithLayouts an arbitrary layout per array, WithMetrics attaches
+// the metrics collector (snapshot on Report.Metrics), WithObserver a
+// custom profiling hook, and WithFaults deterministic fault injection.
+// The pre-options entry points (RunDefault, RunOptimized, RunWithLayouts)
+// remain as deprecated wrappers.
 //
 // The cmd/ directory provides the same functionality as executables
 // (floptc, runsim, exptab), and internal/exp regenerates every table and
@@ -35,15 +42,13 @@
 package flopt
 
 import (
+	"context"
 	"fmt"
 
 	"flopt/internal/lang"
 	"flopt/internal/layout"
-	"flopt/internal/parallel"
 	"flopt/internal/poly"
 	"flopt/internal/sim"
-	"flopt/internal/storage/cache"
-	"flopt/internal/trace"
 	"flopt/internal/workloads"
 )
 
@@ -91,57 +96,26 @@ func Optimize(p *Program, cfg Config) (*Result, error) {
 
 // RunDefault simulates p under cfg with the default row-major file
 // layouts (the paper's "default execution").
+//
+// Deprecated: use Run(ctx, p, cfg).
 func RunDefault(p *Program, cfg Config) (*Report, error) {
-	return RunWithLayouts(p, cfg, layout.DefaultLayouts(p), nil)
+	return Run(context.Background(), p, cfg)
 }
 
 // RunOptimized simulates p under cfg with the layouts chosen by Optimize.
+//
+// Deprecated: use Run(ctx, p, cfg, WithResult(res)).
 func RunOptimized(p *Program, cfg Config, res *Result) (*Report, error) {
-	return RunWithLayouts(p, cfg, res.Layouts, res)
+	return Run(context.Background(), p, cfg, WithResult(res))
 }
 
 // RunWithLayouts simulates p under cfg with an arbitrary layout per array
 // (keyed by array name). If res is non-nil its parallelization plans are
-// reused; otherwise fresh default plans are built. For cfg.Policy ==
-// "karma" the KARMA hints are generated automatically from the traces.
+// reused; otherwise fresh default plans are built.
+//
+// Deprecated: use Run(ctx, p, cfg, WithLayouts(layouts), WithResult(res)).
 func RunWithLayouts(p *Program, cfg Config, layouts map[string]Layout, res *Result) (*Report, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	plans := map[*poly.LoopNest]*parallel.Plan{}
-	if res != nil {
-		plans = res.Plans
-	} else {
-		for _, n := range p.Nests {
-			plan, err := parallel.NewPlan(n, cfg.Threads(), 1)
-			if err != nil {
-				return nil, err
-			}
-			plans[n] = plan
-		}
-	}
-	ft, err := trace.NewFileTable(p, layouts)
-	if err != nil {
-		return nil, err
-	}
-	traces, err := trace.Generate(p, plans, ft, cfg.BlockElems, cfg.Threads())
-	if err != nil {
-		return nil, err
-	}
-	var hints []cache.RangeHint
-	if cfg.Policy == "karma" {
-		hints = sim.GenerateHints(cfg, ft, traces)
-	}
-	machine, err := sim.NewMachine(cfg, hints)
-	if err != nil {
-		return nil, err
-	}
-	fileBlocks := make([]int64, len(ft.Names))
-	for f := range fileBlocks {
-		fileBlocks[f] = ft.Blocks(int32(f), cfg.BlockElems)
-	}
-	machine.SetFileBlocks(fileBlocks)
-	return machine.Run(traces)
+	return Run(context.Background(), p, cfg, WithLayouts(layouts), WithResult(res))
 }
 
 // Workloads returns the 16 benchmark applications of the paper's Table 2.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -102,7 +103,7 @@ func TestRunnerCachesPreparations(t *testing.T) {
 
 func TestOptStatsShape(t *testing.T) {
 	r := NewRunner()
-	tab, err := OptStats(r, fastConfig())
+	tab, err := OptStats(context.Background(), r, fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFig7aGroupStructure(t *testing.T) {
 		t.Skip("full 16-app simulation in -short mode")
 	}
 	r := NewRunner()
-	tab, err := Fig7a(r, fastConfig())
+	tab, err := Fig7a(context.Background(), r, fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

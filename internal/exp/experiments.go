@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,14 +45,14 @@ func Table1(cfg sim.Config) string {
 // Table2 runs the default execution of every application and reports the
 // I/O cache miss rate, storage cache miss rate, and execution time
 // (paper Table 2).
-func Table2(r *Runner, cfg sim.Config) (*Table, error) {
+func Table2(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Table 2: default execution (row-major layouts, LRU inclusive)",
 		Columns: []string{"io-miss%", "st-miss%", "exec(s)"},
 		Formats: []string{"%.1f", "%.1f", "%.2f"},
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
-		rep, err := r.Run(app, cfg, SchemeDefault)
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
+		rep, err := r.RunContext(ctx, app, cfg, SchemeDefault)
 		if err != nil {
 			return nil, err
 		}
@@ -67,18 +68,18 @@ func Table2(r *Runner, cfg sim.Config) (*Table, error) {
 
 // Table3 reports the cache miss rates after the inter-node optimization,
 // normalized to the default execution (paper Table 3).
-func Table3(r *Runner, cfg sim.Config) (*Table, error) {
+func Table3(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Table 3: cache misses after optimization (normalized to Table 2)",
 		Columns: []string{"io", "storage"},
 		Note:    "miss-count ratio optimized/default; < 1 is better",
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
-		def, err := r.Run(app, cfg, SchemeDefault)
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
+		def, err := r.RunContext(ctx, app, cfg, SchemeDefault)
 		if err != nil {
 			return nil, err
 		}
-		opt, err := r.Run(app, cfg, SchemeInter)
+		opt, err := r.RunContext(ctx, app, cfg, SchemeInter)
 		if err != nil {
 			return nil, err
 		}
@@ -96,13 +97,13 @@ func Table3(r *Runner, cfg sim.Config) (*Table, error) {
 // Fig7a reports execution times of the inter-node optimization normalized
 // to the default execution, per application plus the average (paper
 // Fig. 7(a); the paper's headline 23.7 % improvement is 1 − average).
-func Fig7a(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7a(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Fig 7(a): normalized execution time (inter-node / default)",
 		Columns: []string{"normalized"},
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
-		n, err := normalizedExec(r, cfg, app, SchemeInter)
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
+		n, err := normalizedExec(ctx, r, cfg, app, SchemeInter)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +119,7 @@ func Fig7a(r *Runner, cfg sim.Config) (*Table, error) {
 // Fig7b evaluates the four thread-to-compute-node mappings (paper
 // Fig. 7(b)): for each mapping, the optimized execution normalized to the
 // default execution under the same mapping.
-func Fig7b(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7b(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	mappings := standardMappings(cfg)
 	t := &Table{
 		Title: "Fig 7(b): normalized execution time under thread mappings I-IV",
@@ -126,11 +127,11 @@ func Fig7b(r *Runner, cfg sim.Config) (*Table, error) {
 	for _, m := range mappings {
 		t.Columns = append(t.Columns, m.Name)
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		// All mappings normalize against the default execution (which
 		// uses the default thread placement), so the columns isolate the
 		// optimized run's sensitivity to thread placement.
-		def, err := r.Run(app, cfg, SchemeDefault)
+		def, err := r.RunContext(ctx, app, cfg, SchemeDefault)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +139,7 @@ func Fig7b(r *Runner, cfg sim.Config) (*Table, error) {
 		for i := range mappings {
 			c := cfg
 			c.Mapping = &mappings[i]
-			rep, err := r.Run(app, c, SchemeInter)
+			rep, err := r.RunContext(ctx, app, c, SchemeInter)
 			if err != nil {
 				return nil, err
 			}
@@ -155,7 +156,7 @@ func Fig7b(r *Runner, cfg sim.Config) (*Table, error) {
 
 // Fig7c sweeps the cache capacities (paper Fig. 7(c)): both layers scaled
 // by ¼, ½, 1, 2, 4. Values are average improvement percentages.
-func Fig7c(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7c(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	scales := []struct {
 		label string
 		num   int
@@ -169,7 +170,7 @@ func Fig7c(r *Runner, cfg sim.Config) (*Table, error) {
 		t.Columns = append(t.Columns, s.label)
 	}
 	t.Formats = repeatFormat("%.1f", len(scales))
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		vals := make([]float64, 0, len(scales))
 		for _, s := range scales {
 			c := cfg
@@ -181,7 +182,7 @@ func Fig7c(r *Runner, cfg sim.Config) (*Table, error) {
 			if c.StorageCacheBlocks < 1 {
 				c.StorageCacheBlocks = 1
 			}
-			n, err := normalizedExec(r, c, app, SchemeInter)
+			n, err := normalizedExec(ctx, r, c, app, SchemeInter)
 			if err != nil {
 				return nil, err
 			}
@@ -199,7 +200,7 @@ func Fig7c(r *Runner, cfg sim.Config) (*Table, error) {
 // Fig7d sweeps the node counts (paper Fig. 7(d)). Each configuration is
 // (compute, I/O, storage); per-cache capacities stay fixed, so fewer
 // caches mean more sharing.
-func Fig7d(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7d(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	configs := []struct {
 		label       string
 		io, storage int
@@ -217,12 +218,12 @@ func Fig7d(r *Runner, cfg sim.Config) (*Table, error) {
 		t.Columns = append(t.Columns, c.label)
 	}
 	t.Formats = repeatFormat("%.1f", len(configs))
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		vals := make([]float64, 0, len(configs))
 		for _, nc := range configs {
 			c := cfg
 			c.IONodes, c.StorageNodes = nc.io, nc.storage
-			n, err := normalizedExec(r, c, app, SchemeInter)
+			n, err := normalizedExec(ctx, r, c, app, SchemeInter)
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +239,7 @@ func Fig7d(r *Runner, cfg sim.Config) (*Table, error) {
 }
 
 // Fig7e sweeps the data block size (paper Fig. 7(e)).
-func Fig7e(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7e(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	factors := []struct {
 		label string
 		mul   int64
@@ -252,7 +253,7 @@ func Fig7e(r *Runner, cfg sim.Config) (*Table, error) {
 		t.Columns = append(t.Columns, f.label)
 	}
 	t.Formats = repeatFormat("%.1f", len(factors))
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		vals := make([]float64, 0, len(factors))
 		for _, f := range factors {
 			c := cfg
@@ -267,7 +268,7 @@ func Fig7e(r *Runner, cfg sim.Config) (*Table, error) {
 			c.StorageCacheBlocks = int(int64(cfg.StorageCacheBlocks) * cfg.BlockElems / c.BlockElems)
 			// The disk transfer time scales with the block size.
 			c.Disk.TransferNSPerBlock = cfg.Disk.TransferNSPerBlock * c.BlockElems / cfg.BlockElems
-			n, err := normalizedExec(r, c, app, SchemeInter)
+			n, err := normalizedExec(ctx, r, c, app, SchemeInter)
 			if err != nil {
 				return nil, err
 			}
@@ -284,13 +285,13 @@ func Fig7e(r *Runner, cfg sim.Config) (*Table, error) {
 
 // Fig7f compares targeting only the I/O layer, only the storage layer, and
 // both (paper Fig. 7(f); paper averages: 9.1 %, 13.0 %, 23.7 %).
-func Fig7f(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7f(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Fig 7(f): normalized execution time by targeted layer(s)",
 		Columns: []string{"io-only", "storage-only", "both"},
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
-		return schemeColumns(r, cfg, app, []Scheme{SchemeInterIO, SchemeInterStorage, SchemeInter})
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
+		return schemeColumns(ctx, r, cfg, app, []Scheme{SchemeInterIO, SchemeInterStorage, SchemeInter})
 	})
 	if err != nil {
 		return nil, err
@@ -302,13 +303,13 @@ func Fig7f(r *Runner, cfg sim.Config) (*Table, error) {
 // Fig7g compares the two prior schemes with the inter-node optimization
 // (paper Fig. 7(g); paper averages: computation mapping 7.6 %, dimension
 // reindexing 7.1 %, inter-node 23.7 %).
-func Fig7g(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7g(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Fig 7(g): normalized execution time vs prior schemes",
 		Columns: []string{"compmap[26]", "reindex[27]", "inter"},
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
-		return schemeColumns(r, cfg, app, []Scheme{SchemeCompMap, SchemeReindex, SchemeInter})
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
+		return schemeColumns(ctx, r, cfg, app, []Scheme{SchemeCompMap, SchemeReindex, SchemeInter})
 	})
 	if err != nil {
 		return nil, err
@@ -321,17 +322,17 @@ func Fig7g(r *Runner, cfg sim.Config) (*Table, error) {
 // policies (paper Fig. 7(h); paper averages: LRU 23.7 %, KARMA 30.1 %,
 // DEMOTE-LRU 28.6 %). Each column normalizes the optimized run against
 // the default run under the same policy.
-func Fig7h(r *Runner, cfg sim.Config) (*Table, error) {
+func Fig7h(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Fig 7(h): normalized execution time under cache policies",
 		Columns: []string{"LRU", "KARMA", "DEMOTE-LRU"},
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		vals := make([]float64, 0, 3)
 		for _, pol := range []string{"lru", "karma", "demote"} {
 			c := cfg
 			c.Policy = pol
-			n, err := normalizedExec(r, c, app, SchemeInter)
+			n, err := normalizedExec(ctx, r, c, app, SchemeInter)
 			if err != nil {
 				return nil, err
 			}
@@ -348,13 +349,13 @@ func Fig7h(r *Runner, cfg sim.Config) (*Table, error) {
 
 // OptStats reports the static optimization coverage of §5.1: per app, the
 // number of disk-resident arrays and how many received optimized layouts.
-func OptStats(r *Runner, cfg sim.Config) (*Table, error) {
+func OptStats(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "§5.1: arrays optimized per application (paper average ≈ 72%)",
 		Columns: []string{"arrays", "optimized", "fraction"},
 		Formats: []string{"%.0f", "%.0f", "%.2f"},
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		res, err := r.OptResult(app, cfg)
 		if err != nil {
 			return nil, err
@@ -379,14 +380,14 @@ func OptStats(r *Runner, cfg sim.Config) (*Table, error) {
 // Ablations quantifies the two design choices DESIGN.md calls out: the
 // Eq. 5 weighted conflict resolution and the hierarchy-aware Step II
 // interleaving, each replaced by its naive alternative.
-func Ablations(r *Runner, cfg sim.Config) (*Table, error) {
+func Ablations(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Ablations: normalized execution time of design variants",
 		Columns: []string{"inter", "unweighted-eq5", "flat-pattern"},
 		Note:    "unweighted-eq5: first-reference conflict order; flat-pattern: per-thread slabs, no capacity-aware nesting",
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
-		return schemeColumns(r, cfg, app, []Scheme{SchemeInter, SchemeInterUnweighted, SchemeInterFlat})
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
+		return schemeColumns(ctx, r, cfg, app, []Scheme{SchemeInter, SchemeInterUnweighted, SchemeInterFlat})
 	})
 	if err != nil {
 		return nil, err
@@ -401,7 +402,7 @@ func Ablations(r *Runner, cfg sim.Config) (*Table, error) {
 // the optimized execution. Columns: improvement without readahead,
 // improvement with readahead, and the speedup readahead itself gives the
 // optimized run.
-func Prefetch(r *Runner, cfg sim.Config) (*Table, error) {
+func Prefetch(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	t := &Table{
 		Title:   "Prefetching: inter-node improvement without/with storage readahead",
 		Columns: []string{"improv-noRA%", "improv-RA2%", "RA-gain-opt%"},
@@ -410,25 +411,25 @@ func Prefetch(r *Runner, cfg sim.Config) (*Table, error) {
 			"cache scale speculation rarely survives the demand churn, so readahead mostly hurts " +
 			"the scattered default layout (widening the improvement) rather than boosting the optimized one",
 	}
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		noRA := cfg
 		noRA.ReadaheadBlocks = 0
 		withRA := cfg
 		withRA.ReadaheadBlocks = 2
 
-		defNo, err := r.Run(app, noRA, SchemeDefault)
+		defNo, err := r.RunContext(ctx, app, noRA, SchemeDefault)
 		if err != nil {
 			return nil, err
 		}
-		optNo, err := r.Run(app, noRA, SchemeInter)
+		optNo, err := r.RunContext(ctx, app, noRA, SchemeInter)
 		if err != nil {
 			return nil, err
 		}
-		defRA, err := r.Run(app, withRA, SchemeDefault)
+		defRA, err := r.RunContext(ctx, app, withRA, SchemeDefault)
 		if err != nil {
 			return nil, err
 		}
-		optRA, err := r.Run(app, withRA, SchemeInter)
+		optRA, err := r.RunContext(ctx, app, withRA, SchemeInter)
 		if err != nil {
 			return nil, err
 		}
@@ -454,7 +455,7 @@ func Prefetch(r *Runner, cfg sim.Config) (*Table, error) {
 // columns report the optimized improvement at each intensity; the last
 // columns detail the fully degraded (intensity 1) optimized run: storage
 // miss rate and degraded-mode operations per thousand block requests.
-func FaultSweep(r *Runner, cfg sim.Config) (*Table, error) {
+func FaultSweep(ctx context.Context, r *Runner, cfg sim.Config) (*Table, error) {
 	intensities := []float64{0, 0.3, 0.6, 1}
 	t := &Table{
 		Title: fmt.Sprintf("Fault sweep: inter-node improvement (%%) vs fault intensity (seed %d)", cfg.FaultSeed),
@@ -467,17 +468,17 @@ func FaultSweep(r *Runner, cfg sim.Config) (*Table, error) {
 	}
 	t.Columns = append(t.Columns, "stMiss@1%", "retry/1k@1", "degr/1k@1", "fo/1k@1")
 	t.Formats = repeatFormat("%.1f", len(t.Columns))
-	err := buildRows(r, t, Apps(), func(app string) ([]float64, error) {
+	err := buildRows(ctx, r, t, Apps(), func(app string) ([]float64, error) {
 		vals := make([]float64, 0, len(t.Columns))
 		var worst *sim.Report
 		for _, f := range intensities {
 			c := cfg
 			c.FaultIntensity = f
-			def, err := r.Run(app, c, SchemeDefault)
+			def, err := r.RunContext(ctx, app, c, SchemeDefault)
 			if err != nil {
 				return nil, err
 			}
-			opt, err := r.Run(app, c, SchemeInter)
+			opt, err := r.RunContext(ctx, app, c, SchemeInter)
 			if err != nil {
 				return nil, err
 			}
@@ -519,12 +520,12 @@ func ratio(a, b float64) float64 {
 
 // normalizedExec returns exec(scheme)/exec(default) for one app. Both runs
 // use the same cfg (policy, mapping, capacities).
-func normalizedExec(r *Runner, cfg sim.Config, app string, scheme Scheme) (float64, error) {
-	def, err := r.Run(app, cfg, SchemeDefault)
+func normalizedExec(ctx context.Context, r *Runner, cfg sim.Config, app string, scheme Scheme) (float64, error) {
+	def, err := r.RunContext(ctx, app, cfg, SchemeDefault)
 	if err != nil {
 		return 0, err
 	}
-	rep, err := r.Run(app, cfg, scheme)
+	rep, err := r.RunContext(ctx, app, cfg, scheme)
 	if err != nil {
 		return 0, err
 	}
@@ -532,10 +533,10 @@ func normalizedExec(r *Runner, cfg sim.Config, app string, scheme Scheme) (float
 }
 
 // schemeColumns returns one normalized execution time per scheme for app.
-func schemeColumns(r *Runner, cfg sim.Config, app string, schemes []Scheme) ([]float64, error) {
+func schemeColumns(ctx context.Context, r *Runner, cfg sim.Config, app string, schemes []Scheme) ([]float64, error) {
 	vals := make([]float64, 0, len(schemes))
 	for _, s := range schemes {
-		n, err := normalizedExec(r, cfg, app, s)
+		n, err := normalizedExec(ctx, r, cfg, app, s)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"flopt/internal/obs"
+	"flopt/internal/sim"
+)
+
+// cellKey names one experiment cell deterministically: the workload, the
+// scheme and every config knob that distinguishes cells within the
+// harness's sweeps. Two cells with the same key are the same simulation,
+// so later snapshots overwrite earlier ones instead of accumulating.
+func cellKey(app string, cfg sim.Config, scheme Scheme) string {
+	mapping := "identity"
+	if cfg.Mapping != nil {
+		mapping = cfg.Mapping.Name
+	}
+	return fmt.Sprintf("%s|%s|policy=%s|nodes=%d/%d/%d|cache=%d/%d|blk=%d|ra=%d|map=%s|faults=%g@%d",
+		app, scheme, cfg.Policy,
+		cfg.ComputeNodes, cfg.IONodes, cfg.StorageNodes,
+		cfg.IOCacheBlocks, cfg.StorageCacheBlocks,
+		cfg.BlockElems, cfg.ReadaheadBlocks,
+		mapping, cfg.FaultIntensity, cfg.FaultSeed)
+}
+
+// recordCell stores the snapshot for one cell key, replacing any earlier
+// snapshot for the same key.
+func (r *Runner) recordCell(key string, snap *obs.Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cells == nil {
+		r.cells = map[string]*obs.Snapshot{}
+	}
+	r.cells[key] = snap
+}
+
+// MetricCells returns the number of recorded cell snapshots.
+func (r *Runner) MetricCells() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cells)
+}
+
+// WriteMetricsJSONL writes every recorded cell snapshot as one JSON object
+// per line, sorted by cell key. The output is deterministic for a given
+// set of cells — independent of worker count and of the order in which the
+// cells were simulated — so it can be diffed across runs.
+func (r *Runner) WriteMetricsJSONL(w io.Writer) error {
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.cells))
+	for k := range r.cells {
+		keys = append(keys, k)
+	}
+	snaps := make([]*obs.Snapshot, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		snaps[i] = r.cells[k]
+	}
+	r.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	for i, k := range keys {
+		line := struct {
+			Cell    string        `json:"cell"`
+			Metrics *obs.Snapshot `json:"metrics"`
+		}{Cell: k, Metrics: snaps[i]}
+		if err := enc.Encode(line); err != nil {
+			return fmt.Errorf("exp: writing metrics line %d: %w", i, err)
+		}
+	}
+	return nil
+}

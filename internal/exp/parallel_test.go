@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -47,7 +48,7 @@ func TestParallelSerialIdenticalTables(t *testing.T) {
 		r := NewRunner()
 		r.Parallel = par
 		tab := &Table{Columns: []string{"io-miss%", "st-miss%", "exec(s)"}}
-		err := buildRows(r, tab, apps, func(app string) ([]float64, error) {
+		err := buildRows(context.Background(), r, tab, apps, func(app string) ([]float64, error) {
 			rep, err := r.Run(app, cfg, SchemeDefault)
 			if err != nil {
 				return nil, err
@@ -81,7 +82,7 @@ func TestFaultReplayAcrossWorkerCounts(t *testing.T) {
 	}
 	build := func(r *Runner) *Table {
 		tab := &Table{Columns: []string{"exec(s)", "retries", "timeouts", "degraded", "failover"}}
-		err := buildRows(r, tab, apps, func(app string) ([]float64, error) {
+		err := buildRows(context.Background(), r, tab, apps, func(app string) ([]float64, error) {
 			rep, err := r.Run(app, cfg, SchemeDefault)
 			if err != nil {
 				return nil, err
@@ -120,7 +121,7 @@ func TestFaultSweepShape(t *testing.T) {
 	r := NewRunner()
 	cfg := sim.DefaultConfig()
 	cfg.FaultSeed = 7
-	tab, err := FaultSweep(r, cfg)
+	tab, err := FaultSweep(context.Background(), r, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestWorkersResolution(t *testing.T) {
 // error regardless of worker count.
 func TestForEachIndexError(t *testing.T) {
 	for _, par := range []int{1, 4} {
-		err := forEachIndex(par, 8, func(i int) error {
+		err := forEachIndex(context.Background(), par, 8, func(i int) error {
 			if i >= 3 {
 				return fmt.Errorf("fail-%d", i)
 			}
@@ -262,7 +263,7 @@ func TestForEachIndexError(t *testing.T) {
 			t.Errorf("par=%d: err = %v, want fail-3", par, err)
 		}
 	}
-	if err := forEachIndex(4, 0, func(int) error { return nil }); err != nil {
+	if err := forEachIndex(context.Background(), 4, 0, func(int) error { return nil }); err != nil {
 		t.Errorf("empty range: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -19,13 +20,19 @@ func (r *Runner) workers() int {
 // path (par ≤ 1) stops at the first error, exactly like the pre-parallel
 // harness; the parallel path lets in-flight work finish and then returns
 // the error of the lowest failing index, so the reported error does not
-// depend on goroutine scheduling.
-func forEachIndex(par, n int, fn func(i int) error) error {
+// depend on goroutine scheduling. A canceled ctx stops workers from
+// picking up new indices; in-flight cells abort through their own ctx
+// polling, and the cancellation error is reported when no cell failed
+// first.
+func forEachIndex(ctx context.Context, par, n int, fn func(i int) error) error {
 	if par > n {
 		par = n
 	}
 	if par <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -40,6 +47,9 @@ func forEachIndex(par, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -54,15 +64,15 @@ func forEachIndex(par, n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // buildRows fills t with one row per app, dispatching the row computations
 // to the runner's worker pool. Rows land in apps order regardless of which
 // worker finishes first, so the emitted table is deterministic.
-func buildRows(r *Runner, t *Table, apps []string, row func(app string) ([]float64, error)) error {
+func buildRows(ctx context.Context, r *Runner, t *Table, apps []string, row func(app string) ([]float64, error)) error {
 	rows := make([]Row, len(apps))
-	err := forEachIndex(r.workers(), len(apps), func(i int) error {
+	err := forEachIndex(ctx, r.workers(), len(apps), func(i int) error {
 		vals, err := row(apps[i])
 		if err != nil {
 			return err

@@ -4,11 +4,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"flopt/internal/baseline"
 	"flopt/internal/layout"
+	"flopt/internal/obs"
 	"flopt/internal/parallel"
 	"flopt/internal/poly"
 	"flopt/internal/sim"
@@ -126,6 +128,13 @@ type Runner struct {
 	Parallel int
 	// Verbose enables progress lines on stdout.
 	Verbose bool
+	// CollectMetrics attaches the simulator's metrics collector to every
+	// cell; snapshots are recorded per cell key (see WriteMetricsJSONL).
+	CollectMetrics bool
+
+	// cells holds the per-cell metric snapshots, keyed deterministically
+	// (guarded by mu).
+	cells map[string]*obs.Snapshot
 }
 
 // maxPreps bounds the trace cache; beyond it the least recently used
@@ -304,12 +313,21 @@ func (r *Runner) cachedPreps() int {
 // SchemeCompMap installs its own computed mapping). Run is safe for
 // concurrent use; each call simulates on its own Machine.
 func (r *Runner) Run(app string, cfg sim.Config, scheme Scheme) (*sim.Report, error) {
+	return r.RunContext(context.Background(), app, cfg, scheme)
+}
+
+// RunContext is Run with cooperative cancellation: a canceled ctx aborts
+// the simulation in flight with an error wrapping ctx.Err().
+func (r *Runner) RunContext(ctx context.Context, app string, cfg sim.Config, scheme Scheme) (*sim.Report, error) {
 	pr, err := r.prepare(app, cfg, scheme)
 	if err != nil {
 		return nil, err
 	}
 	if scheme == SchemeCompMap {
 		cfg.Mapping = pr.mapping
+	}
+	if r.CollectMetrics {
+		cfg.Metrics = true
 	}
 	var hints []cache.RangeHint
 	if cfg.Policy == "karma" {
@@ -324,9 +342,13 @@ func (r *Runner) Run(app string, cfg sim.Config, scheme Scheme) (*sim.Report, er
 		fileBlocks[f] = pr.ft.Blocks(int32(f), cfg.BlockElems)
 	}
 	machine.SetFileBlocks(fileBlocks)
-	rep, err := machine.Run(pr.traces)
+	machine.SetFileNames(pr.ft.Names)
+	rep, err := machine.RunContext(ctx, pr.traces)
 	if err != nil {
 		return nil, fmt.Errorf("exp: %s/%s: %w", app, scheme, err)
+	}
+	if rep.Metrics != nil {
+		r.recordCell(cellKey(app, cfg, scheme), rep.Metrics)
 	}
 	if r.Verbose {
 		fmt.Printf("  %-9s %-13s policy=%-6s exec=%8.3fs ioMiss=%5.1f%% stMiss=%5.1f%%\n",

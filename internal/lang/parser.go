@@ -1,15 +1,29 @@
 package lang
 
 import (
+	"errors"
 	"fmt"
 
 	"flopt/internal/linalg"
 	"flopt/internal/poly"
 )
 
+// ErrBadProgram is the sentinel wrapped by every Parse error — syntax
+// errors, semantic validation failures, empty programs. Match with
+// errors.Is instead of string inspection.
+var ErrBadProgram = errors.New("lang: invalid program")
+
 // Parse compiles mini-language source into a validated poly.Program.
-// name becomes the Program's name.
+// name becomes the Program's name. Every error wraps ErrBadProgram.
 func Parse(name, src string) (*poly.Program, error) {
+	prog, err := parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadProgram, err)
+	}
+	return prog, nil
+}
+
+func parse(name, src string) (*poly.Program, error) {
 	p := &parser{lx: newLexer(src), prog: &poly.Program{Name: name}}
 	if err := p.advance(); err != nil {
 		return nil, err

@@ -1,0 +1,304 @@
+package obs
+
+import "fmt"
+
+// KeyedStats accumulates the per-layer service breakdown for one key — an
+// array (file) or a thread.
+type KeyedStats struct {
+	Accesses      int64
+	ServedIO      int64
+	ServedStorage int64
+	ServedDisk    int64
+	LatencySumNS  int64
+}
+
+func (k *KeyedStats) record(level Level, latencyNS int64) {
+	k.Accesses++
+	k.LatencySumNS += latencyNS
+	switch level {
+	case LevelIO:
+		k.ServedIO++
+	case LevelStorage:
+		k.ServedStorage++
+	default:
+		k.ServedDisk++
+	}
+}
+
+// LayerBreakdown is the JSON-ready form of KeyedStats with the derived
+// hit ratios the paper's tables are built from:
+//
+//   - IOHitPct: fraction of all requests served by the I/O-node cache.
+//   - StorageHitPct: hit ratio *at* the storage layer — of the requests
+//     that missed the I/O layer and reached it.
+//   - DiskPct: fraction of all requests that went to a device.
+type LayerBreakdown struct {
+	Accesses      int64   `json:"accesses"`
+	ServedIO      int64   `json:"served_io"`
+	ServedStorage int64   `json:"served_storage"`
+	ServedDisk    int64   `json:"served_disk"`
+	IOHitPct      float64 `json:"io_hit_pct"`
+	StorageHitPct float64 `json:"storage_hit_pct"`
+	DiskPct       float64 `json:"disk_pct"`
+	AvgLatencyUS  float64 `json:"avg_latency_us"`
+}
+
+func (k *KeyedStats) breakdown() LayerBreakdown {
+	b := LayerBreakdown{
+		Accesses:      k.Accesses,
+		ServedIO:      k.ServedIO,
+		ServedStorage: k.ServedStorage,
+		ServedDisk:    k.ServedDisk,
+	}
+	if k.Accesses > 0 {
+		b.IOHitPct = 100 * float64(k.ServedIO) / float64(k.Accesses)
+		b.DiskPct = 100 * float64(k.ServedDisk) / float64(k.Accesses)
+		b.AvgLatencyUS = float64(k.LatencySumNS) / 1000 / float64(k.Accesses)
+	}
+	if below := k.Accesses - k.ServedIO; below > 0 {
+		b.StorageHitPct = 100 * float64(k.ServedStorage) / float64(below)
+	}
+	return b
+}
+
+// NodeStats accumulates device-level metrics for one storage node.
+type NodeStats struct {
+	Reads          int64
+	SeqReads       int64
+	ServiceSumNS   int64
+	RetryWaits     int64
+	RetryWaitSumNS int64
+}
+
+// NodeSnapshot is the JSON-ready per-storage-node state.
+type NodeSnapshot struct {
+	Node          int     `json:"node"`
+	Reads         int64   `json:"reads"`
+	SeqReads      int64   `json:"seq_reads"`
+	AvgServiceUS  float64 `json:"avg_service_us"`
+	RetryWaits    int64   `json:"retry_waits"`
+	RetryWaitUS   int64   `json:"retry_wait_us"`
+	PrimaryBlocks int64   `json:"primary_blocks,omitempty"`
+}
+
+// CacheNodeStats is a per-cache-instance counter set, mirrored from the
+// storage layer's cache statistics without importing it (obs stays
+// zero-dependency).
+type CacheNodeStats struct {
+	Accesses  int64 `json:"accesses"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// EventSummary summarizes the event stream for snapshots.
+type EventSummary struct {
+	Total   int64          `json:"total"`
+	Dropped int64          `json:"dropped"`
+	ByKind  map[Kind]int64 `json:"by_kind,omitempty"`
+}
+
+// Snapshot is the complete, JSON-ready state of a Metrics observer at the
+// end of a run: the per-layer breakdown overall, per array, and per
+// thread; per-storage-node device metrics; latency histograms; the
+// registry; and the event summary. Serializing a Snapshot is
+// deterministic (struct field order plus sorted map keys), which is what
+// the cross-worker-count determinism tests compare.
+type Snapshot struct {
+	Totals      LayerBreakdown               `json:"totals"`
+	Arrays      map[string]LayerBreakdown    `json:"arrays,omitempty"`
+	Threads     []LayerBreakdown             `json:"threads,omitempty"`
+	Nodes       []NodeSnapshot               `json:"nodes,omitempty"`
+	IOCaches    []CacheNodeStats             `json:"io_caches,omitempty"`
+	StoreCaches []CacheNodeStats             `json:"storage_caches,omitempty"`
+	LatencyUS   map[string]HistogramSnapshot `json:"latency_us,omitempty"`
+	Counters    map[string]int64             `json:"counters,omitempty"`
+	Gauges      map[string]float64           `json:"gauges,omitempty"`
+	Events      EventSummary                 `json:"events"`
+	EventsTail  []Event                      `json:"-"`
+}
+
+// Histogram names in Snapshot.LatencyUS.
+const (
+	HistRequestLatency = "request"
+	HistDiskService    = "disk_service"
+	HistRetryWait      = "retry_wait"
+)
+
+// Metrics is the standard Observer: it accumulates everything a run
+// report needs to explain per-layer behavior. Construct with NewMetrics,
+// attach to one machine, Snapshot at the end. Not goroutine-safe.
+type Metrics struct {
+	reg     *Registry
+	ring    *Ring
+	byKind  map[Kind]int64
+	arrays  []KeyedStats // indexed by file id, grown on demand
+	threads []KeyedStats // indexed by thread id, grown on demand
+	nodes   []NodeStats  // indexed by storage node, grown on demand
+	totals  KeyedStats
+
+	reqHist   *Histogram
+	diskHist  *Histogram
+	retryHist *Histogram
+
+	names         []string // file id → array name (SetArrayNames)
+	primaryBlocks []int64  // per storage node (SetNodePrimaryBlocks)
+	ioCaches      []CacheNodeStats
+	storeCaches   []CacheNodeStats
+}
+
+// NewMetrics returns an empty metrics observer with the default latency
+// buckets and event-ring capacity.
+func NewMetrics() *Metrics {
+	reg := NewRegistry()
+	return &Metrics{
+		reg:       reg,
+		ring:      NewRing(DefaultRingCapacity),
+		byKind:    map[Kind]int64{},
+		reqHist:   reg.Histogram(HistRequestLatency, DefaultLatencyBucketsUS()...),
+		diskHist:  reg.Histogram(HistDiskService, DefaultLatencyBucketsUS()...),
+		retryHist: reg.Histogram(HistRetryWait, DefaultLatencyBucketsUS()...),
+	}
+}
+
+// Registry exposes the underlying registry for custom metrics.
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// Ring exposes the event sink (for JSONL export of the full stream).
+func (m *Metrics) Ring() *Ring { return m.ring }
+
+// SetArrayNames maps file ids to array names for the snapshot; unnamed
+// files appear as "file<N>".
+func (m *Metrics) SetArrayNames(names []string) {
+	m.names = append(m.names[:0], names...)
+}
+
+// SetNodePrimaryBlocks records each storage node's primary-copy block
+// count (stripe balance) for the snapshot.
+func (m *Metrics) SetNodePrimaryBlocks(blocks []int64) {
+	m.primaryBlocks = append(m.primaryBlocks[:0], blocks...)
+}
+
+// SetCacheNodeStats records the per-cache-instance counters of both
+// layers for the snapshot.
+func (m *Metrics) SetCacheNodeStats(io, storage []CacheNodeStats) {
+	m.ioCaches = append(m.ioCaches[:0], io...)
+	m.storeCaches = append(m.storeCaches[:0], storage...)
+}
+
+func growKeyed(s []KeyedStats, i int) []KeyedStats {
+	for len(s) <= i {
+		s = append(s, KeyedStats{})
+	}
+	return s
+}
+
+// BlockAccess implements Observer.
+func (m *Metrics) BlockAccess(thread int, file int32, level Level, latencyNS int64) {
+	m.totals.record(level, latencyNS)
+	if int(file) >= len(m.arrays) {
+		m.arrays = growKeyed(m.arrays, int(file))
+	}
+	m.arrays[file].record(level, latencyNS)
+	if thread >= len(m.threads) {
+		m.threads = growKeyed(m.threads, thread)
+	}
+	m.threads[thread].record(level, latencyNS)
+	m.reqHist.Observe(latencyNS / 1000)
+}
+
+// DiskService implements Observer.
+func (m *Metrics) DiskService(node int, serviceNS int64, sequential bool) {
+	for len(m.nodes) <= node {
+		m.nodes = append(m.nodes, NodeStats{})
+	}
+	n := &m.nodes[node]
+	n.Reads++
+	n.ServiceSumNS += serviceNS
+	if sequential {
+		n.SeqReads++
+	}
+	m.diskHist.Observe(serviceNS / 1000)
+}
+
+// RetryWait implements Observer.
+func (m *Metrics) RetryWait(node int, waitNS int64) {
+	for len(m.nodes) <= node {
+		m.nodes = append(m.nodes, NodeStats{})
+	}
+	n := &m.nodes[node]
+	n.RetryWaits++
+	n.RetryWaitSumNS += waitNS
+	m.retryHist.Observe(waitNS / 1000)
+}
+
+// Event implements Observer.
+func (m *Metrics) Event(e Event) {
+	m.ring.Append(e)
+	m.byKind[e.Kind]++
+}
+
+var _ Observer = (*Metrics)(nil)
+
+// ArrayName returns the snapshot key for file id f.
+func (m *Metrics) ArrayName(f int) string {
+	if f < len(m.names) && m.names[f] != "" {
+		return m.names[f]
+	}
+	return fmt.Sprintf("file%d", f)
+}
+
+// Snapshot captures the observer state. The receiver keeps accumulating;
+// snapshots are cheap deep copies of the derived form.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Totals: m.totals.breakdown(),
+		Events: EventSummary{Total: m.ring.Total(), Dropped: m.ring.Dropped()},
+	}
+	if len(m.arrays) > 0 {
+		s.Arrays = make(map[string]LayerBreakdown, len(m.arrays))
+		for f := range m.arrays {
+			if m.arrays[f].Accesses == 0 {
+				continue
+			}
+			s.Arrays[m.ArrayName(f)] = m.arrays[f].breakdown()
+		}
+	}
+	if len(m.threads) > 0 {
+		s.Threads = make([]LayerBreakdown, len(m.threads))
+		for t := range m.threads {
+			s.Threads[t] = m.threads[t].breakdown()
+		}
+	}
+	for i := range m.nodes {
+		n := &m.nodes[i]
+		ns := NodeSnapshot{
+			Node:        i,
+			Reads:       n.Reads,
+			SeqReads:    n.SeqReads,
+			RetryWaits:  n.RetryWaits,
+			RetryWaitUS: n.RetryWaitSumNS / 1000,
+		}
+		if n.Reads > 0 {
+			ns.AvgServiceUS = float64(n.ServiceSumNS) / 1000 / float64(n.Reads)
+		}
+		if i < len(m.primaryBlocks) {
+			ns.PrimaryBlocks = m.primaryBlocks[i]
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	s.IOCaches = append([]CacheNodeStats(nil), m.ioCaches...)
+	s.StoreCaches = append([]CacheNodeStats(nil), m.storeCaches...)
+	reg := m.reg.Snapshot()
+	s.LatencyUS = reg.Histograms
+	s.Counters = reg.Counters
+	s.Gauges = reg.Gauges
+	if len(m.byKind) > 0 {
+		s.Events.ByKind = make(map[Kind]int64, len(m.byKind))
+		for k, n := range m.byKind {
+			s.Events.ByKind[k] = n
+		}
+	}
+	s.EventsTail = m.ring.Events()
+	return s
+}

@@ -1,0 +1,126 @@
+// Package obs is the observability layer of the reproduction: a
+// zero-dependency, allocation-lean metrics registry (counters, gauges,
+// histograms with latency buckets), a bounded structured-event ring with
+// JSONL export, and the Observer hook surface the simulator and storage
+// layers report into.
+//
+// The paper's evaluation (§5, Fig. 7) is entirely about *where* in the
+// compute-node → I/O-node → storage-node → disk hierarchy each access
+// hits; this package is what lets a run explain *why* a layout wins
+// rather than only that it does: per-layer hit ratios keyed by array and
+// by thread, disk service-time and retry-wait histograms, and lifecycle /
+// degraded-mode events (fail-over, reconstruction, eviction storms).
+//
+// Everything here is deterministic: observers are driven by the
+// simulator's virtual clock, never the wall clock, so snapshots and event
+// streams are bit-identical across host worker counts. Nothing in the
+// package is goroutine-safe — each simulated machine owns its observer,
+// exactly like the machine owns its caches and disks.
+package obs
+
+// Level identifies the storage layer that satisfied a block request,
+// mirroring the simulator's hit levels (I/O-node cache, storage-node
+// cache, disk) in the same order.
+type Level int
+
+const (
+	// LevelIO: served by the I/O-node cache.
+	LevelIO Level = iota
+	// LevelStorage: served by the storage-node cache.
+	LevelStorage
+	// LevelDisk: both cache layers missed; the block came from a device.
+	LevelDisk
+	numLevels
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelIO:
+		return "io"
+	case LevelStorage:
+		return "storage"
+	case LevelDisk:
+		return "disk"
+	default:
+		return "invalid"
+	}
+}
+
+// Observer is the pluggable profiling hook surface. The simulator calls it
+// from its request hot path, so implementations must be cheap and must not
+// block; the no-op default keeps the healthy path branch-predictable.
+// Observers are driven serially by one machine and need no locking.
+type Observer interface {
+	// BlockAccess records one block request issued by a thread against a
+	// file (array), the layer that served it, and its end-to-end latency.
+	BlockAccess(thread int, file int32, level Level, latencyNS int64)
+	// DiskService records one device read on a storage node: the service
+	// time charged and whether the sequential fast path was taken.
+	DiskService(node int, serviceNS int64, sequential bool)
+	// RetryWait records a degraded-mode backoff wait before a retry
+	// against a storage node.
+	RetryWait(node int, waitNS int64)
+	// Event records a structured run event (lifecycle or degraded-mode).
+	Event(e Event)
+}
+
+// Nop is the no-op Observer; it is the default everywhere an observer is
+// accepted, so instrumented code never needs a nil check.
+type Nop struct{}
+
+func (Nop) BlockAccess(int, int32, Level, int64) {}
+func (Nop) DiskService(int, int64, bool)         {}
+func (Nop) RetryWait(int, int64)                 {}
+func (Nop) Event(Event)                          {}
+
+var _ Observer = Nop{}
+
+// Tee fans every callback out to each observer in order. Nil and Nop
+// entries are dropped; a tee of zero or one useful observers collapses to
+// Nop or the single observer, so the hot path never pays for an empty
+// fan-out.
+func Tee(obs ...Observer) Observer {
+	var t tee
+	for _, o := range obs {
+		if o == nil {
+			continue
+		}
+		if _, ok := o.(Nop); ok {
+			continue
+		}
+		t = append(t, o)
+	}
+	switch len(t) {
+	case 0:
+		return Nop{}
+	case 1:
+		return t[0]
+	}
+	return t
+}
+
+type tee []Observer
+
+func (t tee) BlockAccess(thread int, file int32, level Level, latencyNS int64) {
+	for _, o := range t {
+		o.BlockAccess(thread, file, level, latencyNS)
+	}
+}
+
+func (t tee) DiskService(node int, serviceNS int64, sequential bool) {
+	for _, o := range t {
+		o.DiskService(node, serviceNS, sequential)
+	}
+}
+
+func (t tee) RetryWait(node int, waitNS int64) {
+	for _, o := range t {
+		o.RetryWait(node, waitNS)
+	}
+}
+
+func (t tee) Event(e Event) {
+	for _, o := range t {
+		o.Event(e)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reads")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("reads").Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("fill")
+	g.Set(0.75)
+	if got := r.Gauge("fill").Value(); got != 0.75 {
+		t.Errorf("gauge = %v, want 0.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 5126 || s.Min != 5 || s.Max != 5000 {
+		t.Errorf("count/sum/min/max = %d/%d/%d/%d", s.Count, s.Sum, s.Min, s.Max)
+	}
+	// 5,10 ≤ 10; 11,100 ≤ 100; none ≤ 1000; 5000 overflows (le = -1).
+	want := []HistBucket{{Le: 10, N: 2}, {Le: 100, N: 2}, {Le: -1, N: 1}}
+	if !reflect.DeepEqual(s.Buckets, want) {
+		t.Errorf("buckets = %+v, want %+v", s.Buckets, want)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unsorted bounds")
+		}
+	}()
+	NewHistogram(100, 10)
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(Event{Kind: EvNestStart, TimeUS: int64(i)})
+	}
+	if r.Total() != 10 || r.Len() != 4 || r.Dropped() != 6 {
+		t.Fatalf("total/len/dropped = %d/%d/%d", r.Total(), r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, e := range evs {
+		wantSeq := int64(6 + i) // oldest retained is the 7th append
+		if e.Seq != wantSeq || e.TimeUS != wantSeq {
+			t.Errorf("event %d: seq/time = %d/%d, want %d", i, e.Seq, e.TimeUS, wantSeq)
+		}
+	}
+}
+
+func TestTeeCollapses(t *testing.T) {
+	if _, ok := Tee().(Nop); !ok {
+		t.Error("empty Tee is not Nop")
+	}
+	if _, ok := Tee(nil, Nop{}).(Nop); !ok {
+		t.Error("Tee of nil and Nop is not Nop")
+	}
+	m := NewMetrics()
+	if Tee(nil, m) != Observer(m) {
+		t.Error("single-observer Tee did not collapse")
+	}
+	m2 := NewMetrics()
+	tee := Tee(m, m2)
+	tee.BlockAccess(0, 0, LevelDisk, 1000)
+	tee.Event(Event{Kind: EvRunStart, Node: -1, Thread: -1, File: -1})
+	for i, mm := range []*Metrics{m, m2} {
+		if mm.totals.Accesses != 1 || mm.ring.Total() != 1 {
+			t.Errorf("observer %d missed the fan-out", i)
+		}
+	}
+}
+
+func TestMetricsBreakdown(t *testing.T) {
+	m := NewMetrics()
+	m.SetArrayNames([]string{"A", "B"})
+	// Array 0: 2 IO hits, 1 storage hit, 1 disk. Array 1: 1 disk.
+	m.BlockAccess(0, 0, LevelIO, 1000_000)
+	m.BlockAccess(1, 0, LevelIO, 1000_000)
+	m.BlockAccess(0, 0, LevelStorage, 2000_000)
+	m.BlockAccess(1, 0, LevelDisk, 8000_000)
+	m.BlockAccess(2, 1, LevelDisk, 9000_000)
+	m.DiskService(3, 6_000_000, false)
+	m.DiskService(3, 1_280_000, true)
+	m.RetryWait(1, 500_000)
+
+	s := m.Snapshot()
+	if s.Totals.Accesses != 5 || s.Totals.ServedIO != 2 || s.Totals.ServedStorage != 1 || s.Totals.ServedDisk != 2 {
+		t.Errorf("totals = %+v", s.Totals)
+	}
+	a := s.Arrays["A"]
+	if a.Accesses != 4 || a.IOHitPct != 50 {
+		t.Errorf("array A = %+v", a)
+	}
+	// Of the 2 A-requests that reached the storage layer, 1 hit: 50 %.
+	if a.StorageHitPct != 50 {
+		t.Errorf("array A storage hit = %v, want 50", a.StorageHitPct)
+	}
+	if got := s.Arrays["B"].DiskPct; got != 100 {
+		t.Errorf("array B disk pct = %v, want 100", got)
+	}
+	if len(s.Threads) != 3 || s.Threads[2].Accesses != 1 {
+		t.Errorf("threads = %+v", s.Threads)
+	}
+	if len(s.Nodes) != 4 {
+		t.Fatalf("nodes = %+v", s.Nodes)
+	}
+	n3 := s.Nodes[3]
+	if n3.Reads != 2 || n3.SeqReads != 1 || n3.AvgServiceUS != 3640 {
+		t.Errorf("node 3 = %+v", n3)
+	}
+	if s.Nodes[1].RetryWaits != 1 || s.Nodes[1].RetryWaitUS != 500 {
+		t.Errorf("node 1 = %+v", s.Nodes[1])
+	}
+	if s.LatencyUS[HistDiskService].Count != 2 || s.LatencyUS[HistRetryWait].Count != 1 {
+		t.Errorf("latency histograms = %+v", s.LatencyUS)
+	}
+}
+
+// TestSnapshotJSONDeterministic feeds two metrics instances identical
+// observations in the same order and checks the serialized snapshots are
+// byte-identical — the property the cross-worker determinism tests build on.
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	feed := func() *Metrics {
+		m := NewMetrics()
+		m.SetArrayNames([]string{"u", "v", "w"})
+		for i := 0; i < 100; i++ {
+			m.BlockAccess(i%7, int32(i%3), Level(i%3), int64(1000*i))
+			if i%5 == 0 {
+				m.DiskService(i%4, int64(2000*i), i%2 == 0)
+			}
+			if i%11 == 0 {
+				m.Event(Event{TimeUS: int64(i), Kind: EvFailover, Node: i % 4, Thread: i % 7, File: int32(i % 3)})
+			}
+		}
+		m.SetNodePrimaryBlocks([]int64{25, 25, 25, 24})
+		return m
+	}
+	a, err := json.Marshal(feed().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(feed().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("identical observation streams serialized differently")
+	}
+}

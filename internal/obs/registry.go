@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ n int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds d (d may be any sign; counters used as plain accumulators).
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a point-in-time float metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram accumulates int64 observations into fixed buckets (upper
+// bounds, ascending) plus an implicit overflow bucket, tracking count,
+// sum, min and max. The unit is whatever the caller observes — the
+// simulator's latency histograms observe microseconds.
+type Histogram struct {
+	bounds   []int64 // ascending upper bounds (inclusive)
+	counts   []int64 // len(bounds)+1; last is overflow
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// DefaultLatencyBucketsUS are the latency buckets (µs) used for the
+// simulator's service-time histograms: they straddle the platform's
+// cache-hit times (~1–2 ms), positioned disk reads (~6–9 ms), and the
+// degraded-mode deadline (50 ms).
+func DefaultLatencyBucketsUS() []int64 {
+	return []int64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the observation total.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the average observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// HistBucket is one non-empty histogram bucket: N observations at most Le
+// (Le == -1 marks the overflow bucket).
+type HistBucket struct {
+	Le int64 `json:"le"`
+	N  int64 `json:"n"`
+}
+
+// HistogramSnapshot is the JSON-ready state of a histogram; empty buckets
+// are omitted to keep exports compact.
+type HistogramSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Mean    float64      `json:"mean"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max, Mean: h.Mean()}
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: le, N: n})
+	}
+	return s
+}
+
+// Registry is a named collection of counters, gauges and histograms with
+// get-or-create accessors. Like everything in obs it is single-owner:
+// one registry per machine, no locking.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds ...int64) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds...)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is the JSON-ready registry state. encoding/json
+// marshals map keys in sorted order, so serialized snapshots are
+// deterministic.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric in the registry.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var s RegistrySnapshot
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}

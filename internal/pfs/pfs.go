@@ -18,6 +18,7 @@ import (
 
 	"flopt/internal/layout"
 	"flopt/internal/linalg"
+	"flopt/internal/obs"
 	"flopt/internal/storage/stripe"
 )
 
@@ -47,6 +48,18 @@ type FS struct {
 	failed []bool
 	// degradedReads counts block reads served by a non-primary copy.
 	degradedReads int64
+	// obs receives node-outage and degraded-read events (Nop by default).
+	obs obs.Observer
+}
+
+// SetObserver routes the file system's structured events (node down/up,
+// degraded reads) to o; nil restores the no-op default. The pfs layer has
+// no virtual clock, so its events carry TimeUS 0 and are ordered by Seq.
+func (fs *FS) SetObserver(o obs.Observer) {
+	if o == nil {
+		o = obs.Nop{}
+	}
+	fs.obs = o
 }
 
 // New creates an unreplicated file system over storageNodes nodes with
@@ -74,6 +87,7 @@ func NewReplicated(storageNodes int, blockBytes int64, replicas int) (*FS, error
 		replicas:   replicas,
 		files:      map[string]*File{},
 		failed:     make([]bool, storageNodes),
+		obs:        obs.Nop{},
 	}, nil
 }
 
@@ -90,6 +104,7 @@ func (fs *FS) FailNode(s int) error {
 		return fmt.Errorf("%w: no storage node %d", ErrBadConfig, s)
 	}
 	fs.failed[s] = true
+	fs.obs.Event(obs.Event{Kind: obs.EvNodeDown, Node: s, Thread: -1, File: -1})
 	return nil
 }
 
@@ -101,12 +116,26 @@ func (fs *FS) ReviveNode(s int) error {
 		return fmt.Errorf("%w: no storage node %d", ErrBadConfig, s)
 	}
 	fs.failed[s] = false
+	fs.obs.Event(obs.Event{Kind: obs.EvNodeUp, Node: s, Thread: -1, File: -1})
 	return nil
 }
 
 // DegradedReads returns how many block reads were served by a replica
 // because the primary's node had failed.
 func (fs *FS) DegradedReads() int64 { return fs.degradedReads }
+
+// NodeBlocks returns how many block copies (primaries plus replicas,
+// across all files) each storage node currently holds — the placement
+// balance view of the data-bearing layer.
+func (fs *FS) NodeBlocks() []int64 {
+	out := make([]int64, fs.striping.Nodes())
+	for _, f := range fs.files {
+		for s, blocks := range f.nodes {
+			out[s] += int64(len(blocks))
+		}
+	}
+	return out
+}
 
 // File is one striped file. Each node holds that node's copies of the
 // file's blocks, keyed by global block index — primaries and replicas
@@ -177,6 +206,7 @@ func (f *File) readBlock(b int64) ([]byte, error) {
 		}
 		if r > 0 {
 			f.fs.degradedReads++
+			f.fs.obs.Event(obs.Event{Kind: obs.EvDegradedRead, Node: s, Thread: -1, File: -1, Detail: f.name})
 		}
 		return blk, nil
 	}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"flopt/internal/fault"
@@ -14,6 +15,11 @@ import (
 	"flopt/internal/parallel"
 	"flopt/internal/storage/disk"
 )
+
+// ErrBadConfig is the sentinel wrapped by every Validate error: match
+// configuration problems with errors.Is(err, sim.ErrBadConfig) instead of
+// string inspection.
+var ErrBadConfig = errors.New("sim: invalid configuration")
 
 // Config describes one platform instance. Capacities are in blocks; the
 // block is both the cache management unit and the stripe unit (Table 1).
@@ -80,6 +86,13 @@ type Config struct {
 	// read is served degraded from the replica stripe (0 means
 	// DefaultRequestTimeoutUS).
 	RequestTimeoutUS int64
+
+	// Metrics attaches a machine-owned obs.Metrics collector to every run:
+	// per-layer hit breakdowns keyed by array and thread, device service
+	// histograms, and the structured event stream, snapshotted onto
+	// Report.Metrics. Off by default — the healthy hot path then pays only
+	// a single predictable branch per request.
+	Metrics bool
 }
 
 // Default degraded-mode retry policy, applied where the corresponding
@@ -136,47 +149,49 @@ func DefaultConfig() Config {
 // Threads returns the total thread count.
 func (c Config) Threads() int { return c.ComputeNodes * c.ThreadsPerCompute }
 
-// Validate checks the configuration for structural consistency.
+// Validate checks the configuration for structural consistency. Every
+// error it returns wraps ErrBadConfig.
 func (c Config) Validate() error {
 	if c.ComputeNodes < 1 || c.IONodes < 1 || c.StorageNodes < 1 {
-		return fmt.Errorf("sim: node counts must be positive: (%d, %d, %d)",
-			c.ComputeNodes, c.IONodes, c.StorageNodes)
+		return fmt.Errorf("%w: node counts must be positive: (%d, %d, %d)",
+			ErrBadConfig, c.ComputeNodes, c.IONodes, c.StorageNodes)
 	}
 	if c.ComputeNodes%c.IONodes != 0 {
-		return fmt.Errorf("sim: compute nodes (%d) must be a multiple of I/O nodes (%d)",
-			c.ComputeNodes, c.IONodes)
+		return fmt.Errorf("%w: compute nodes (%d) must be a multiple of I/O nodes (%d)",
+			ErrBadConfig, c.ComputeNodes, c.IONodes)
 	}
 	if c.ThreadsPerCompute < 1 {
-		return fmt.Errorf("sim: threads per compute node must be ≥ 1")
+		return fmt.Errorf("%w: threads per compute node must be ≥ 1", ErrBadConfig)
 	}
 	if c.BlockElems < 1 {
-		return fmt.Errorf("sim: block size must be ≥ 1 element")
+		return fmt.Errorf("%w: block size must be ≥ 1 element", ErrBadConfig)
 	}
 	if c.IOCacheBlocks < 0 || c.StorageCacheBlocks < 0 {
-		return fmt.Errorf("sim: cache capacities must be non-negative")
+		return fmt.Errorf("%w: cache capacities must be non-negative", ErrBadConfig)
 	}
 	if err := c.Disk.Validate(); err != nil {
-		return fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if c.FaultIntensity < 0 || c.FaultIntensity > 1 {
-		return fmt.Errorf("sim: fault intensity %v outside [0, 1]", c.FaultIntensity)
+		return fmt.Errorf("%w: fault intensity %v outside [0, 1]", ErrBadConfig, c.FaultIntensity)
 	}
 	if err := c.FaultSchedule.Validate(c.StorageNodes); err != nil {
-		return fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if c.MaxRetries < 0 {
-		return fmt.Errorf("sim: negative retry limit %d", c.MaxRetries)
+		return fmt.Errorf("%w: negative retry limit %d", ErrBadConfig, c.MaxRetries)
 	}
 	if c.RetryBackoffUS < 0 || c.RequestTimeoutUS < 0 {
-		return fmt.Errorf("sim: negative retry backoff (%d µs) or request timeout (%d µs)",
-			c.RetryBackoffUS, c.RequestTimeoutUS)
+		return fmt.Errorf("%w: negative retry backoff (%d µs) or request timeout (%d µs)",
+			ErrBadConfig, c.RetryBackoffUS, c.RequestTimeoutUS)
 	}
 	if c.Mapping != nil {
 		if c.Mapping.Len() != c.Threads() {
-			return fmt.Errorf("sim: mapping covers %d threads, platform has %d", c.Mapping.Len(), c.Threads())
+			return fmt.Errorf("%w: mapping covers %d threads, platform has %d",
+				ErrBadConfig, c.Mapping.Len(), c.Threads())
 		}
 		if err := c.Mapping.Validate(); err != nil {
-			return err
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 	}
 	return nil

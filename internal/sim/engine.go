@@ -2,10 +2,12 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 
 	"flopt/internal/fault"
+	"flopt/internal/obs"
 	"flopt/internal/storage/cache"
 	"flopt/internal/storage/disk"
 	"flopt/internal/storage/stripe"
@@ -46,6 +48,13 @@ type Report struct {
 	// FailedOverBlocks counts requests rerouted to the replica stripe
 	// because the owning storage node was unreachable.
 	FailedOverBlocks int64
+
+	// Metrics is the observability snapshot of the run — per-layer hit
+	// breakdowns keyed by array and thread, per-node device metrics,
+	// latency histograms, and the event summary. Nil unless Config.Metrics
+	// was set (or a Metrics observer was attached via SetObserver paths
+	// that enable it).
+	Metrics *obs.Snapshot
 }
 
 // IOMissRate and StorageMissRate expose the Table 2/3 metrics.
@@ -83,6 +92,23 @@ type Machine struct {
 	backoffNS, timeoutNS int64
 	// Degraded-mode counters (see Report).
 	retries, timeouts, degradedReads, failedOver int64
+
+	// obs is the effective observer (machine-owned metrics teed with any
+	// user observer); obsOn caches whether it is non-Nop so the healthy
+	// hot path pays a single predictable branch per request.
+	obs   obs.Observer
+	obsOn bool
+	// userObs is the observer registered via SetObserver, kept so the tee
+	// can be rebuilt.
+	userObs obs.Observer
+	// metrics is the machine-owned collector behind Config.Metrics; its
+	// snapshot lands on Report.Metrics.
+	metrics *obs.Metrics
+	// fileNames labels file ids with array names in metric snapshots.
+	fileNames []string
+	// lastEvictions is the hierarchy-wide eviction count at the previous
+	// storm-detector sample (see evictionSampleEvery).
+	lastEvictions int64
 }
 
 // SetFileBlocks records each file's length in blocks so readahead stops at
@@ -138,7 +164,52 @@ func NewMachine(cfg Config, hints []cache.RangeHint) (*Machine, error) {
 			m.timeoutNS = 1000 * DefaultRequestTimeoutUS
 		}
 	}
+	if cfg.Metrics {
+		m.metrics = obs.NewMetrics()
+	}
+	m.SetObserver(nil)
 	return m, nil
+}
+
+// SetObserver registers o to receive the machine's profiling callbacks
+// and structured events, teed with the machine-owned metrics collector
+// when Config.Metrics is set; nil detaches the user observer. Observers
+// are driven serially by this machine's virtual clock, so they need no
+// locking and their output is bit-identical across host worker counts.
+func (m *Machine) SetObserver(o obs.Observer) {
+	m.userObs = o
+	var eff obs.Observer
+	if m.metrics != nil {
+		eff = obs.Tee(m.metrics, o)
+	} else {
+		eff = obs.Tee(o)
+	}
+	m.obs = eff
+	_, nop := eff.(obs.Nop)
+	m.obsOn = !nop
+	for i, d := range m.disks {
+		if !m.obsOn {
+			d.SetServiceHook(nil)
+			continue
+		}
+		node := i
+		d.SetServiceHook(func(serviceNS int64, sequential bool) {
+			m.obs.DiskService(node, serviceNS, sequential)
+		})
+	}
+}
+
+// Metrics returns the machine-owned metrics collector, or nil when
+// Config.Metrics is off. It keeps accumulating across Run calls.
+func (m *Machine) Metrics() *obs.Metrics { return m.metrics }
+
+// SetFileNames labels file ids with array names in metric snapshots;
+// unlabeled files appear as "file<N>".
+func (m *Machine) SetFileNames(names []string) {
+	m.fileNames = append(m.fileNames[:0], names...)
+	if m.metrics != nil {
+		m.metrics.SetArrayNames(m.fileNames)
+	}
 }
 
 // threadHeap orders active threads by virtual time (then id, for
@@ -166,6 +237,26 @@ func (h *threadHeap) Pop() any      { x := h.ids[len(h.ids)-1]; h.ids = h.ids[:l
 // start). Internal clocks run in nanoseconds; the report converts to
 // microseconds.
 func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
+	return m.RunContext(context.Background(), traces)
+}
+
+// Eviction-storm detection: every evictionSampleEvery accesses the run
+// loop samples the hierarchy-wide eviction count; a window in which most
+// accesses evicted a block (≥ the threshold) emits an EvEvictionStorm
+// event — the thrashing signature of a working set far beyond capacity.
+const (
+	evictionSampleEvery    = 4096
+	evictionStormThreshold = 3 * evictionSampleEvery / 4
+)
+
+// ctxCheckEvery paces context-cancellation polling in the inner loop (a
+// power of two; the check is a mask test plus one predictable call).
+const ctxCheckEvery = 8192
+
+// RunContext is Run with cooperative cancellation: the inner loop polls
+// ctx every ctxCheckEvery accesses and aborts with ctx's error, leaving
+// the machine's caches and clocks mid-run (Reset before reuse).
+func (m *Machine) RunContext(ctx context.Context, traces []*trace.NestTrace) (*Report, error) {
 	threads := m.cfg.Threads()
 	clock := make([]int64, threads) // ns
 	// pos and the heap's id slice are reused across nests (hot-path
@@ -174,6 +265,10 @@ func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
 	ids := make([]int, 0, threads)
 	var accesses int64
 
+	if m.obsOn {
+		m.obs.Event(obs.Event{Kind: obs.EvRunStart, Node: -1, Thread: -1, File: -1,
+			Detail: fmt.Sprintf("nests=%d threads=%d policy=%s", len(traces), threads, m.mgr.Name())})
+	}
 	for ni, nt := range traces {
 		if len(nt.Streams) != threads {
 			return nil, fmt.Errorf("sim: nest %d trace has %d streams, platform has %d threads",
@@ -185,6 +280,10 @@ func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
 			if c > barrier {
 				barrier = c
 			}
+		}
+		if m.obsOn {
+			m.obs.Event(obs.Event{TimeUS: barrier / 1000, Kind: obs.EvNestStart,
+				Node: -1, Thread: -1, File: -1, Detail: fmt.Sprintf("nest=%d", ni)})
 		}
 		h := &threadHeap{time: clock, ids: ids[:0]}
 		for t := 0; t < threads; t++ {
@@ -200,6 +299,14 @@ func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
 			acc := nt.Streams[t][pos[t]]
 			clock[t] += m.serve(clock[t], t, acc)
 			accesses++
+			if accesses&(ctxCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: run aborted after %d accesses: %w", accesses, err)
+				}
+			}
+			if m.obsOn && accesses&(evictionSampleEvery-1) == 0 {
+				m.sampleEvictions(clock[t])
+			}
 			pos[t]++
 			if pos[t] >= len(nt.Streams[t]) {
 				heap.Pop(h)
@@ -237,7 +344,73 @@ func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
 	rep.Prefetches = m.prefetches
 	rep.Retries, rep.Timeouts = m.retries, m.timeouts
 	rep.DegradedReads, rep.FailedOverBlocks = m.degradedReads, m.failedOver
+	if m.obsOn {
+		m.obs.Event(obs.Event{TimeUS: rep.ExecTimeUS, Kind: obs.EvRunEnd,
+			Node: -1, Thread: -1, File: -1,
+			Detail: fmt.Sprintf("accesses=%d disk_reads=%d", accesses, rep.DiskReads)})
+	}
+	if m.metrics != nil {
+		m.finishMetrics(rep)
+	}
 	return rep, nil
+}
+
+// sampleEvictions runs the eviction-storm detector at virtual time nowNS.
+func (m *Machine) sampleEvictions(nowNS int64) {
+	ev := m.mgr.IOStats().Evictions + m.mgr.StorageStats().Evictions
+	if d := ev - m.lastEvictions; d >= evictionStormThreshold {
+		m.obs.Event(obs.Event{TimeUS: nowNS / 1000, Kind: obs.EvEvictionStorm,
+			Node: -1, Thread: -1, File: -1,
+			Detail: fmt.Sprintf("evictions=%d window=%d", d, evictionSampleEvery)})
+	}
+	m.lastEvictions = ev
+}
+
+// finishMetrics folds the machine's end-of-run state into the metrics
+// collector and snapshots it onto the report.
+func (m *Machine) finishMetrics(rep *Report) {
+	m.metrics.SetArrayNames(m.fileNames)
+	if len(m.fileBlocks) > 0 {
+		primaries := make([]int64, m.cfg.StorageNodes)
+		for _, nb := range m.fileBlocks {
+			for i, c := range m.striper.Spread(nb) {
+				primaries[i] += c
+			}
+		}
+		m.metrics.SetNodePrimaryBlocks(primaries)
+	}
+	if nsr, ok := m.mgr.(cache.NodeStatsReporter); ok {
+		m.metrics.SetCacheNodeStats(toCacheNodeStats(nsr.IONodeStats()), toCacheNodeStats(nsr.StorageNodeStats()))
+	}
+	// Registry counters mirror the machine's cumulative counters; Add the
+	// delta so repeated Runs on one machine stay consistent.
+	reg := m.metrics.Registry()
+	for _, c := range []struct {
+		name string
+		val  int64
+	}{
+		{"prefetches", m.prefetches},
+		{"retries", m.retries},
+		{"timeouts", m.timeouts},
+		{"degraded_reads", m.degradedReads},
+		{"failed_over_blocks", m.failedOver},
+		{"demotions", rep.Demotions},
+	} {
+		ctr := reg.Counter(c.name)
+		ctr.Add(c.val - ctr.Value())
+	}
+	reg.Gauge("exec_time_us").Set(float64(rep.ExecTimeUS))
+	rep.Metrics = m.metrics.Snapshot()
+}
+
+// toCacheNodeStats mirrors cache.Stats into the obs package's dependency-
+// free counter form.
+func toCacheNodeStats(in []cache.Stats) []obs.CacheNodeStats {
+	out := make([]obs.CacheNodeStats, len(in))
+	for i, s := range in {
+		out[i] = obs.CacheNodeStats{Accesses: s.Accesses, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions}
+	}
+	return out
 }
 
 // serve routes one block request issued by thread t at the given virtual
@@ -278,6 +451,9 @@ func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
 	if out.Demoted {
 		lat += 1000 * m.cfg.NetISUS
 	}
+	if m.obsOn {
+		m.obs.BlockAccess(t, acc.File, obs.Level(out.Level), lat)
+	}
 	return lat
 }
 
@@ -305,6 +481,10 @@ func (m *Machine) serveFaulty(now int64, t int, acc trace.Access) int64 {
 		// leaves the I/O node.
 		m.failedOver++
 		lat += 1000 * m.cfg.NetISUS
+		if m.obsOn {
+			m.obs.Event(obs.Event{TimeUS: now / 1000, Kind: obs.EvFailover,
+				Node: st, Thread: t, File: acc.File})
+		}
 	}
 	switch out.Level {
 	case cache.HitIO:
@@ -328,6 +508,9 @@ func (m *Machine) serveFaulty(now int64, t int, acc trace.Access) int64 {
 	if out.Demoted {
 		lat += 1000 * m.cfg.NetISUS
 	}
+	if m.obsOn {
+		m.obs.BlockAccess(t, acc.File, obs.Level(out.Level), lat)
+	}
 	return lat
 }
 
@@ -350,9 +533,17 @@ func (m *Machine) diskReadFaulty(arrive int64, st int, acc trace.Access) int64 {
 		}
 		if attempt >= m.maxRetries || done+backoff > deadline {
 			m.timeouts++
+			if m.obsOn {
+				m.obs.Event(obs.Event{TimeUS: done / 1000, Kind: obs.EvTimeout,
+					Node: st, Thread: -1, File: acc.File,
+					Detail: fmt.Sprintf("attempts=%d", attempt+1)})
+			}
 			return m.reconstruct(done, st, acc.File, local, acc.Block) - arrive
 		}
 		m.retries++
+		if m.obsOn {
+			m.obs.RetryWait(st, backoff)
+		}
 		at = done + backoff
 		if backoff < 8*m.backoffNS {
 			backoff *= 2
@@ -372,6 +563,10 @@ func (m *Machine) reconstruct(at int64, st int, file int32, local, block int64) 
 	rep := m.striper.ReplicaOf(block, 1)
 	if rep == st {
 		rep = m.striper.NodeOf(block)
+	}
+	if m.obsOn {
+		m.obs.Event(obs.Event{TimeUS: at / 1000, Kind: obs.EvReconstruct,
+			Node: rep, Thread: -1, File: file})
 	}
 	done, _ := m.disks[rep].ReadScaled(at, file, local, m.faults.SlowFactorAt(rep, at))
 	return done
@@ -437,6 +632,7 @@ func (m *Machine) Reset() {
 		m.rng = rand.New(rand.NewSource(m.cfg.FaultSeed))
 	}
 	m.retries, m.timeouts, m.degradedReads, m.failedOver = 0, 0, 0, 0
+	m.lastEvictions = 0
 }
 
 // Simulate is the one-shot convenience wrapper: build a machine, run the

@@ -261,6 +261,31 @@ func (k *KARMA) StorageStats() Stats {
 	return s
 }
 
+// IONodeStats implements NodeStatsReporter: each I/O node's counters sum
+// its range partitions and its residual stream partition.
+func (k *KARMA) IONodeStats() []Stats {
+	out := make([]Stats, len(k.streamIO))
+	for i := range out {
+		for _, p := range k.partIO[i] {
+			out[i].Add(p.Stats())
+		}
+		out[i].Add(k.streamIO[i].Stats())
+	}
+	return out
+}
+
+// StorageNodeStats implements NodeStatsReporter.
+func (k *KARMA) StorageNodeStats() []Stats {
+	out := make([]Stats, len(k.streamST))
+	for i := range out {
+		for _, p := range k.partST[i] {
+			out[i].Add(p.Stats())
+		}
+		out[i].Add(k.streamST[i].Stats())
+	}
+	return out
+}
+
 // Reset implements Manager.
 func (k *KARMA) Reset() {
 	for _, parts := range k.partIO {

@@ -49,6 +49,17 @@ type Manager interface {
 	Reset()
 }
 
+// NodeStatsReporter is implemented by policies that can break their
+// aggregate counters down per cache instance — the observability layer
+// uses it for per-node hit/miss/eviction breakdowns. Every built-in
+// policy implements it.
+type NodeStatsReporter interface {
+	// IONodeStats returns one Stats per I/O-node cache, in node order.
+	IONodeStats() []Stats
+	// StorageNodeStats returns one Stats per storage-node cache.
+	StorageNodeStats() []Stats
+}
+
 // Prefetcher is implemented by policies that accept readahead insertions
 // at the storage level.
 type Prefetcher interface {
@@ -66,6 +77,15 @@ func aggregate(cs []*LRU) Stats {
 		s.Add(c.Stats())
 	}
 	return s
+}
+
+// perNode snapshots each LRU cache's stats in node order.
+func perNode(cs []*LRU) []Stats {
+	out := make([]Stats, len(cs))
+	for i, c := range cs {
+		out[i] = c.Stats()
+	}
+	return out
 }
 
 // InclusiveLRU is the paper's default policy: independent LRU caches at
@@ -116,6 +136,12 @@ func (m *InclusiveLRU) IOStats() Stats { return aggregate(m.io) }
 
 // StorageStats implements Manager.
 func (m *InclusiveLRU) StorageStats() Stats { return aggregate(m.st) }
+
+// IONodeStats implements NodeStatsReporter.
+func (m *InclusiveLRU) IONodeStats() []Stats { return perNode(m.io) }
+
+// StorageNodeStats implements NodeStatsReporter.
+func (m *InclusiveLRU) StorageNodeStats() []Stats { return perNode(m.st) }
 
 // Reset implements Manager.
 func (m *InclusiveLRU) Reset() {
@@ -201,6 +227,12 @@ func (m *DemoteLRU) IOStats() Stats { return aggregate(m.io) }
 // StorageStats implements Manager.
 func (m *DemoteLRU) StorageStats() Stats { return aggregate(m.st) }
 
+// IONodeStats implements NodeStatsReporter.
+func (m *DemoteLRU) IONodeStats() []Stats { return perNode(m.io) }
+
+// StorageNodeStats implements NodeStatsReporter.
+func (m *DemoteLRU) StorageNodeStats() []Stats { return perNode(m.st) }
+
 // Demotions returns the total number of demotion transfers.
 func (m *DemoteLRU) Demotions() int64 { return m.demotions }
 
@@ -216,8 +248,12 @@ func (m *DemoteLRU) Reset() {
 }
 
 var (
-	_ Manager = (*InclusiveLRU)(nil)
-	_ Manager = (*DemoteLRU)(nil)
+	_ Manager           = (*InclusiveLRU)(nil)
+	_ Manager           = (*DemoteLRU)(nil)
+	_ NodeStatsReporter = (*InclusiveLRU)(nil)
+	_ NodeStatsReporter = (*DemoteLRU)(nil)
+	_ NodeStatsReporter = (*KARMA)(nil)
+	_ NodeStatsReporter = (*InclusiveMQ)(nil)
 )
 
 // NewByName constructs a policy by its report name; see Names.

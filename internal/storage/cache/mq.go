@@ -235,6 +235,18 @@ func (m *InclusiveMQ) StorageStats() Stats {
 	return s
 }
 
+// IONodeStats implements NodeStatsReporter.
+func (m *InclusiveMQ) IONodeStats() []Stats { return perNode(m.io) }
+
+// StorageNodeStats implements NodeStatsReporter.
+func (m *InclusiveMQ) StorageNodeStats() []Stats {
+	out := make([]Stats, len(m.st))
+	for i, c := range m.st {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
 // Reset implements Manager.
 func (m *InclusiveMQ) Reset() {
 	for _, c := range m.io {

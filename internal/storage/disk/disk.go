@@ -71,7 +71,16 @@ type Disk struct {
 	reads      int64
 	seqReads   int64
 	busyTimeNS int64
+
+	// svcHook, when set, observes every read's charged service time (the
+	// observability layer's per-device latency histograms). The nil
+	// default keeps the uninstrumented path a single predictable branch.
+	svcHook func(serviceNS int64, sequential bool)
 }
+
+// SetServiceHook registers a callback invoked with each read's service
+// time and whether it took the sequential fast path. Pass nil to detach.
+func (d *Disk) SetServiceHook(f func(serviceNS int64, sequential bool)) { d.svcHook = f }
 
 // New returns an idle disk.
 func New(p Params) *Disk {
@@ -118,6 +127,9 @@ func (d *Disk) ReadScaled(arrivalNS int64, file int32, block int64, scale float6
 	d.busyTimeNS += svc
 	d.busyUntil = start + svc
 	d.lastFile, d.lastBlock, d.hasLast = file, block, true
+	if d.svcHook != nil {
+		d.svcHook(svc, seq)
+	}
 	return d.busyUntil, seq
 }
 

@@ -37,6 +37,25 @@ func (s Striping) LocalIndex(block int64) int64 {
 	return block / int64(s.nodes)
 }
 
+// Spread returns how many of a file's first nblocks blocks have their
+// primary copy on each storage node — the stripe-balance view the
+// observability layer reports. Round-robin placement spreads blocks
+// evenly, with the first nblocks mod nodes nodes holding one extra.
+func (s Striping) Spread(nblocks int64) []int64 {
+	if nblocks < 0 {
+		panic(fmt.Sprintf("stripe: negative block count %d", nblocks))
+	}
+	out := make([]int64, s.nodes)
+	base, rem := nblocks/int64(s.nodes), nblocks%int64(s.nodes)
+	for i := range out {
+		out[i] = base
+		if int64(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
 // ReplicaOf returns the storage node holding copy r of the block: copies
 // are placed on consecutive nodes after the primary (chained
 // declustering), so copy 0 is NodeOf(block) and copy 1 is the failover

@@ -50,6 +50,44 @@ func TestReplicaOf(t *testing.T) {
 	}()
 }
 
+func TestSpread(t *testing.T) {
+	s := New(4)
+	// 10 blocks round-robin over 4 nodes: nodes 0 and 1 hold 3, 2 and 3
+	// hold 2.
+	got := s.Spread(10)
+	want := []int64{3, 3, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Spread(10) = %v, want %v", got, want)
+		}
+	}
+	// The spread always sums to the block count and agrees with NodeOf.
+	for _, n := range []int64{0, 1, 4, 7, 101} {
+		counts := make([]int64, s.Nodes())
+		for b := int64(0); b < n; b++ {
+			counts[s.NodeOf(b)]++
+		}
+		var sum int64
+		for i, c := range s.Spread(n) {
+			sum += c
+			if c != counts[i] {
+				t.Fatalf("Spread(%d)[%d] = %d, want %d", n, i, c, counts[i])
+			}
+		}
+		if sum != n {
+			t.Fatalf("Spread(%d) sums to %d", n, sum)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative block count should panic")
+			}
+		}()
+		s.Spread(-1)
+	}()
+}
+
 func TestPanics(t *testing.T) {
 	func() {
 		defer func() {
