@@ -5,11 +5,14 @@
 #                        the fault-injection paths race-clean
 #   make bench-harness — measure the headline harness benchmarks and emit
 #                        their wall-clock as JSON (see BENCH_harness.json)
+#   make bench-compare — rerun the harness benchmarks and diff against the
+#                        recorded BENCH_harness.json entry (non-zero exit
+#                        on regression beyond BENCH_TOLERANCE)
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check deprecations lint test race verify bench bench-harness
+.PHONY: build vet fmt-check deprecations lint test race verify bench bench-harness bench-compare
 
 build:
 	$(GO) build ./...
@@ -47,3 +50,6 @@ bench:
 
 bench-harness:
 	./scripts/bench_harness.sh
+
+bench-compare:
+	./scripts/bench_compare.sh

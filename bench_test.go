@@ -22,7 +22,11 @@ import (
 	"testing"
 
 	"flopt/internal/exp"
+	"flopt/internal/layout"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
 	"flopt/internal/sim"
+	"flopt/internal/trace"
 )
 
 // benchRunner is shared across benchmarks so trace/layout preparation is
@@ -169,6 +173,75 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		accesses = rep.Accesses
 	}
 	b.ReportMetric(float64(accesses), "requests/run")
+}
+
+// BenchmarkTraceGeneration measures trace generation alone (no simulation)
+// on the swim workload: the closed-form span emitter produces each stream
+// in O(blocks touched) rather than O(iterations). entries/run is the
+// compressed stream length, blocks/run its run-expanded block count (equal
+// for swim — its nests interleave several arrays per iteration, which
+// defeats run merging; single-ref nests compress further). The inter
+// sub-benchmark is faster than default because the optimized layout makes
+// each thread's sweep contiguous: 64 iterations share a block, so the
+// emitter takes one step where the default layout's scattered scan takes
+// one per iteration.
+func BenchmarkTraceGeneration(b *testing.B) {
+	w, err := WorkloadByName("swim")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := w.Program()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	bench := func(b *testing.B, layouts map[string]layout.Layout, plans map[*poly.LoopNest]*parallel.Plan) {
+		ft, err := trace.NewFileTable(p, layouts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var entries, blocks int64
+		for i := 0; i < b.N; i++ {
+			traces, err := trace.GenerateWorkers(p, plans, ft, cfg.BlockElems, cfg.Threads(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			entries, blocks = 0, 0
+			for _, nt := range traces {
+				for _, s := range nt.Streams {
+					entries += int64(len(s))
+					for _, a := range s {
+						blocks += int64(a.Run) + 1
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(entries), "entries/run")
+		b.ReportMetric(float64(blocks), "blocks/run")
+	}
+	b.Run("default", func(b *testing.B) {
+		plans := make(map[*poly.LoopNest]*parallel.Plan, len(p.Nests))
+		for _, n := range p.Nests {
+			plan, err := parallel.NewPlan(n, cfg.Threads(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plans[n] = plan
+		}
+		bench(b, layout.DefaultLayouts(p), plans)
+	})
+	b.Run("inter", func(b *testing.B) {
+		h, err := cfg.LayoutHierarchy(true, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := layout.Optimize(p, layout.Options{Hierarchy: h, BlockElems: cfg.BlockElems})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bench(b, res.Layouts, res.Plans)
+	})
 }
 
 // BenchmarkSimulatorThroughputMetrics is BenchmarkSimulatorThroughput with

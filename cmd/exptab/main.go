@@ -11,6 +11,7 @@
 //	exptab -exp faults -seed 42      # fault sweep: wins vs fault intensity
 //	exptab -exp table2 -faults 0.5   # base tables on a degraded cluster
 //	exptab -exp table2 -metrics-out cells.jsonl   # per-cell metric snapshots
+//	exptab -exp table2 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Experiments: table1, table2, table3, fig7a … fig7h, optstats,
 // ablations, prefetch, faults, all. The emitted tables — and the
@@ -26,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -105,6 +107,8 @@ func main() {
 		faults     = flag.Float64("faults", 0, "fault-injection intensity in [0,1] applied to the base experiments (0 = healthy; the faults experiment sweeps intensities itself)")
 		seed       = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical fault runs")
 		metricsOut = flag.String("metrics-out", "", "write one JSONL metric snapshot per experiment cell to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the experiments) to this file")
 	)
 	flag.Parse()
 
@@ -146,6 +150,36 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exptab:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "exptab:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "exptab:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "exptab:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	runner := exp.NewRunner()

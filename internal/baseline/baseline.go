@@ -144,7 +144,9 @@ func ComputationMapping(cfg sim.Config, traces []*trace.NestTrace) (parallel.Map
 	for _, nt := range traces {
 		for t, stream := range nt.Streams {
 			for _, acc := range stream {
-				foot[t][blockKey{acc.File, acc.Block}] = struct{}{}
+				for b := acc.Block; b <= acc.Block+int64(acc.Run); b++ {
+					foot[t][blockKey{acc.File, b}] = struct{}{}
+				}
 			}
 		}
 	}

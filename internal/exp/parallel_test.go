@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"flopt/internal/sim"
+	"flopt/internal/trace"
 )
 
 // assertTablesIdentical compares two tables cell-for-cell with exact
@@ -81,14 +82,21 @@ func TestFaultReplayAcrossWorkerCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	build := func(r *Runner) *Table {
-		tab := &Table{Columns: []string{"exec(s)", "retries", "timeouts", "degraded", "failover"}}
+		tab := &Table{Columns: []string{"exec(s)", "exec-inter(s)", "retries", "timeouts", "degraded", "failover"}}
 		err := buildRows(context.Background(), r, tab, apps, func(app string) ([]float64, error) {
 			rep, err := r.Run(app, cfg, SchemeDefault)
 			if err != nil {
 				return nil, err
 			}
+			// The optimized layout emits the longest compressed runs, so it
+			// also pins run-aware fault replay across worker counts.
+			repI, err := r.Run(app, cfg, SchemeInter)
+			if err != nil {
+				return nil, err
+			}
 			return []float64{
 				float64(rep.ExecTimeUS) / 1e6,
+				float64(repI.ExecTimeUS) / 1e6,
 				float64(rep.Retries), float64(rep.Timeouts),
 				float64(rep.DegradedReads), float64(rep.FailedOverBlocks),
 			}, nil
@@ -229,6 +237,44 @@ func TestPrepLRUEviction(t *testing.T) {
 	r.mu.Unlock()
 	if len(r.preps) != maxPreps {
 		t.Errorf("in-flight entries were evicted: preps = %d, want %d", len(r.preps), maxPreps)
+	}
+}
+
+// TestPrepRecycleDeferredToRelease checks the buffer-pool safety contract:
+// evicting a preparation that a simulation still references must not
+// recycle its stream buffers; the recycle happens at the final release.
+func TestPrepRecycleDeferredToRelease(t *testing.T) {
+	r := NewRunner()
+	nt := &trace.NestTrace{Streams: [][]trace.Access{make([]trace.Access, 4, 8)}}
+	victim := &prepCall{finished: true, refs: 1, lastUse: 0,
+		pr: &prep{traces: []*trace.NestTrace{nt}}}
+	r.preps[prepKey{app: "victim"}] = victim
+	for i := 1; i < maxPreps; i++ {
+		r.preps[prepKey{app: fmt.Sprintf("a%d", i)}] = &prepCall{finished: true, lastUse: uint64(i)}
+	}
+
+	r.mu.Lock()
+	r.evictLocked()
+	r.mu.Unlock()
+	if _, ok := r.preps[prepKey{app: "victim"}]; ok {
+		t.Fatal("LRU victim survived eviction")
+	}
+	if !victim.evicted {
+		t.Fatal("evicted flag not set")
+	}
+	if victim.pr == nil || nt.Streams[0] == nil {
+		t.Fatal("stream buffers recycled while still referenced")
+	}
+
+	r.release(victim)
+	if victim.pr != nil {
+		t.Error("final release of an evicted prep did not recycle it")
+	}
+	if nt.Streams[0] != nil {
+		t.Error("stream buffer not returned to the pool")
+	}
+	if buf := r.pool.Get(); buf == nil || cap(buf) != 8 {
+		t.Errorf("pool did not receive the recycled buffer (got %v)", buf)
 	}
 }
 

@@ -99,13 +99,18 @@ type progCall struct {
 
 // prepCall is a singleflight slot for one preparation. lastUse is the
 // runner's recency clock value at the most recent request, driving LRU
-// eviction; finished flags that done is closed (both guarded by Runner.mu).
+// eviction; finished flags that done is closed. refs counts callers that
+// obtained the prep and have not yet released it, and evicted marks a call
+// removed from the cache whose stream buffers should be recycled into the
+// runner's pool once the last user releases it (all guarded by Runner.mu).
 type prepCall struct {
 	done     chan struct{}
 	pr       *prep
 	err      error
 	lastUse  uint64
 	finished bool
+	refs     int
+	evicted  bool
 }
 
 // Runner caches parsed programs and generated traces across experiment
@@ -121,6 +126,10 @@ type Runner struct {
 	progs map[string]*progCall
 	preps map[prepKey]*prepCall
 	seq   uint64 // recency clock for LRU eviction
+	// pool recycles per-thread Access stream buffers across preparations:
+	// an evicted prep's streams return to the pool (once unreferenced) and
+	// the next trace generation draws from it instead of allocating.
+	pool trace.BufferPool
 
 	// Parallel bounds the worker pool used by the table builders and by
 	// trace generation; 0 means runtime.GOMAXPROCS(0), 1 restores the
@@ -187,7 +196,9 @@ func defaultPlans(p *poly.Program, cfg sim.Config) (map[*poly.LoopNest]*parallel
 // evictLocked makes room for one more preparation by dropping the least
 // recently used completed entries. In-flight preparations are never evicted
 // (waiters deduplicate against them); if all entries are in flight the
-// cache temporarily overflows instead. Caller holds r.mu.
+// cache temporarily overflows instead. An evicted prep's stream buffers are
+// recycled into the pool immediately when unreferenced, else deferred to
+// the last release. Caller holds r.mu.
 func (r *Runner) evictLocked() {
 	for len(r.preps) >= maxPreps {
 		var victim prepKey
@@ -204,22 +215,54 @@ func (r *Runner) evictLocked() {
 			return
 		}
 		delete(r.preps, victim)
+		victimCall.evicted = true
+		if victimCall.refs == 0 {
+			r.recycleLocked(victimCall)
+		}
 	}
 }
 
+// recycleLocked returns c's stream buffers to the pool. Caller holds r.mu
+// and guarantees c is evicted with no remaining references.
+func (r *Runner) recycleLocked(c *prepCall) {
+	if c.pr != nil {
+		r.pool.Put(c.pr.traces)
+		c.pr = nil
+	}
+}
+
+// release drops one reference to c, recycling its buffers if it was the
+// last reference to an evicted prep.
+func (r *Runner) release(c *prepCall) {
+	r.mu.Lock()
+	c.refs--
+	if c.refs == 0 && c.evicted {
+		r.recycleLocked(c)
+	}
+	r.mu.Unlock()
+}
+
 // prepare resolves layouts and traces for (app, cfg, scheme), caching the
-// result with singleflight semantics and LRU-bounded capacity.
-func (r *Runner) prepare(app string, cfg sim.Config, scheme Scheme) (*prep, error) {
+// result with singleflight semantics and LRU-bounded capacity. The caller
+// must invoke the returned release function once it no longer reads the
+// prep's traces; a prep is only recycled after eviction AND release of
+// every reference, so in-flight simulations never lose their streams.
+func (r *Runner) prepare(app string, cfg sim.Config, scheme Scheme) (*prep, func(), error) {
 	key := keyFor(app, cfg, scheme)
 	r.mu.Lock()
 	r.seq++
 	if c, ok := r.preps[key]; ok {
 		c.lastUse = r.seq
+		c.refs++
 		r.mu.Unlock()
 		<-c.done
-		return c.pr, c.err
+		if c.err != nil {
+			r.release(c)
+			return nil, nil, c.err
+		}
+		return c.pr, func() { r.release(c) }, nil
 	}
-	c := &prepCall{done: make(chan struct{}), lastUse: r.seq}
+	c := &prepCall{done: make(chan struct{}), lastUse: r.seq, refs: 1}
 	r.evictLocked()
 	r.preps[key] = c
 	r.mu.Unlock()
@@ -234,10 +277,15 @@ func (r *Runner) prepare(app string, cfg sim.Config, scheme Scheme) (*prep, erro
 		if r.preps[key] == c {
 			delete(r.preps, key)
 		}
+		c.evicted = true
+		c.refs--
 	}
 	r.mu.Unlock()
 	close(c.done)
-	return c.pr, c.err
+	if c.err != nil {
+		return nil, nil, c.err
+	}
+	return c.pr, func() { r.release(c) }, nil
 }
 
 // buildPrep does the actual preparation work (layout choice + traces).
@@ -287,7 +335,7 @@ func (r *Runner) buildPrep(app string, cfg sim.Config, scheme Scheme) (*prep, er
 	if err != nil {
 		return nil, err
 	}
-	pr.traces, err = trace.GenerateWorkers(p, plans, pr.ft, cfg.BlockElems, cfg.Threads(), r.workers())
+	pr.traces, err = trace.GenerateWorkersPool(p, plans, pr.ft, cfg.BlockElems, cfg.Threads(), r.workers(), &r.pool)
 	if err != nil {
 		return nil, err
 	}
@@ -319,10 +367,11 @@ func (r *Runner) Run(app string, cfg sim.Config, scheme Scheme) (*sim.Report, er
 // RunContext is Run with cooperative cancellation: a canceled ctx aborts
 // the simulation in flight with an error wrapping ctx.Err().
 func (r *Runner) RunContext(ctx context.Context, app string, cfg sim.Config, scheme Scheme) (*sim.Report, error) {
-	pr, err := r.prepare(app, cfg, scheme)
+	pr, release, err := r.prepare(app, cfg, scheme)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if scheme == SchemeCompMap {
 		cfg.Mapping = pr.mapping
 	}
@@ -361,9 +410,11 @@ func (r *Runner) RunContext(ctx context.Context, app string, cfg sim.Config, sch
 // OptResult returns the optimizer output for app under cfg (inter scheme),
 // for the static statistics of §5.1.
 func (r *Runner) OptResult(app string, cfg sim.Config) (*layout.Result, error) {
-	pr, err := r.prepare(app, cfg, SchemeInter)
+	pr, release, err := r.prepare(app, cfg, SchemeInter)
 	if err != nil {
 		return nil, err
 	}
+	// Only the optimizer result escapes; recycling touches pr.traces alone.
+	release()
 	return pr.optRes, nil
 }

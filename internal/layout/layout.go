@@ -29,6 +29,10 @@ type PermutedLayout struct {
 	Array *poly.Array
 	Perm  []int
 	label string
+
+	// strides caches the per-dimension offset stride for AppendSegs. The
+	// constructors fill it; zero-value literals get a local recompute.
+	strides []int64
 }
 
 // RowMajor returns the default row-major layout of a.
@@ -37,7 +41,7 @@ func RowMajor(a *poly.Array) *PermutedLayout {
 	for i := range perm {
 		perm[i] = i
 	}
-	return &PermutedLayout{Array: a, Perm: perm, label: "row-major"}
+	return &PermutedLayout{Array: a, Perm: perm, label: "row-major", strides: permStrides(a.Dims, perm)}
 }
 
 // ColMajor returns the column-major layout of a.
@@ -46,7 +50,7 @@ func ColMajor(a *poly.Array) *PermutedLayout {
 	for i := range perm {
 		perm[i] = a.Rank() - 1 - i
 	}
-	return &PermutedLayout{Array: a, Perm: perm, label: "col-major"}
+	return &PermutedLayout{Array: a, Perm: perm, label: "col-major", strides: permStrides(a.Dims, perm)}
 }
 
 // Permuted returns the layout with the given dimension order (slowest
@@ -62,7 +66,7 @@ func Permuted(a *poly.Array, perm []int) *PermutedLayout {
 		}
 		seen[p] = true
 	}
-	return &PermutedLayout{Array: a, Perm: perm, label: fmt.Sprintf("permuted%v", perm)}
+	return &PermutedLayout{Array: a, Perm: perm, label: fmt.Sprintf("permuted%v", perm), strides: permStrides(a.Dims, perm)}
 }
 
 // Offset implements Layout.

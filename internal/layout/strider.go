@@ -1,0 +1,112 @@
+package layout
+
+import "flopt/internal/linalg"
+
+// Seg is one maximal affine piece of an innermost-loop walk: the file
+// offsets of the iterations k = 0 … Count-1 covered by the segment are
+// Start + k·Stride. Segments partition the walk; Count ≥ 1.
+type Seg struct {
+	Start  int64
+	Stride int64
+	Count  int64
+}
+
+// Strider is the closed-form capability of layouts whose Offset function
+// is (piecewise) affine along a fixed per-iteration index direction. The
+// trace generator uses it to emit whole block runs per innermost-loop span
+// instead of evaluating Offset once per element.
+//
+// CanStride reports whether the decomposition is available for direction
+// dir (the per-iteration delta of the data index vector). AppendSegs
+// decomposes the walk start, start+dir, …, start+(count-1)·dir — every
+// point of which must lie inside the array — into maximal affine segments,
+// appending them to segs and returning the extended slice. Callers must
+// fall back to per-element Offset evaluation when CanStride is false.
+type Strider interface {
+	CanStride(dir linalg.Vec) bool
+	AppendSegs(segs []Seg, start, dir linalg.Vec, count int64) []Seg
+}
+
+// CanStride implements Strider: a permuted row-major order is affine in
+// every index, so any direction strides.
+func (l *PermutedLayout) CanStride(dir linalg.Vec) bool { return true }
+
+// AppendSegs implements Strider. Offset is globally affine, so the whole
+// walk is a single segment with stride Σ_d dimStride(d)·dir[d].
+func (l *PermutedLayout) AppendSegs(segs []Seg, start, dir linalg.Vec, count int64) []Seg {
+	strides := l.strides
+	if strides == nil {
+		strides = permStrides(l.Array.Dims, l.Perm)
+	}
+	var stride int64
+	for d, s := range strides {
+		stride += s * dir[d]
+	}
+	return append(segs, Seg{Start: l.Offset(start), Stride: stride, Count: count})
+}
+
+// permStrides returns the per-dimension offset stride of the permuted
+// order: Perm[len-1] varies fastest (stride 1).
+func permStrides(dims []int64, perm []int) []int64 {
+	s := make([]int64, len(dims))
+	acc := int64(1)
+	for i := len(perm) - 1; i >= 0; i-- {
+		s[perm[i]] = acc
+		acc *= dims[perm[i]]
+	}
+	return s
+}
+
+// CanStride implements Strider. The fast-path geometry (w = ±e_p) is
+// affine in the thread-local sequence index e as long as the direction
+// stays inside one hyperplane (w·dir = 0): then the data block, thread and
+// earlier-hyperplane count are constant across the walk and only the
+// row-major rest-rank moves. A direction that crosses hyperplanes changes
+// threads/data blocks non-affinely, and the table fallback has no closed
+// form at all — both fall back to per-element evaluation.
+func (l *OptimizedLayout) CanStride(dir linalg.Vec) bool {
+	return l.table == nil && l.T.W.Dot(dir) == 0
+}
+
+// AppendSegs implements Strider. Within the walk e advances by a constant
+// eStride per iteration, and Pattern.Addr(t, e) is affine in e between
+// chunk boundaries (multiples of ChunkElems), so the walk splits into one
+// segment per pattern chunk touched.
+func (l *OptimizedLayout) AppendSegs(segs []Seg, start, dir linalg.Vec, count int64) []Seg {
+	h := l.hIndex(start)
+	d := l.dblockOf(h)
+	t := l.threadOf(d)
+	earlier := d / int64(l.T.Plan.Threads)
+	e0 := (earlier*l.dbs+h%l.dbs)*l.perH + l.restRank(start)
+	var eStride int64
+	for k, s := range l.stride {
+		eStride += dir[k] * s
+	}
+	if eStride == 0 {
+		// The walk revisits one element; one constant segment.
+		return append(segs, Seg{Start: l.P.Addr(t, e0), Stride: eStride, Count: count})
+	}
+	c := l.P.ChunkElems
+	for k := int64(0); k < count; {
+		e := e0 + k*eStride
+		x := e / c // chunk index; e ≥ 0 for every in-array element
+		// Last k of this chunk: the largest k' with x·c ≤ e0+k'·eStride < (x+1)·c.
+		var kEnd int64
+		if eStride > 0 {
+			kEnd = ((x+1)*c - 1 - e0) / eStride
+		} else {
+			kEnd = (e0 - x*c) / -eStride
+		}
+		if kEnd > count-1 {
+			kEnd = count - 1
+		}
+		segs = append(segs, Seg{Start: l.P.ChunkAddr(t, x) + (e - x*c), Stride: eStride, Count: kEnd - k + 1})
+		k = kEnd + 1
+	}
+	return segs
+}
+
+var (
+	_ Strider = (*PermutedLayout)(nil)
+	_ Strider = (*OptimizedLayout)(nil)
+)

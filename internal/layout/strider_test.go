@@ -1,0 +1,107 @@
+package layout
+
+import (
+	"testing"
+
+	"flopt/internal/linalg"
+	"flopt/internal/poly"
+)
+
+// checkSegs verifies a Strider decomposition against the layout's own
+// Offset map: walking start, start+dir, … start+(count-1)·dir through the
+// returned segments must reproduce every per-element offset exactly, and
+// the segments must cover exactly count iterations.
+func checkSegs(t *testing.T, l Layout, s Strider, start, dir linalg.Vec, count int64) {
+	t.Helper()
+	if !s.CanStride(dir) {
+		t.Fatalf("%s: CanStride(%v) = false for a strideable walk", l.Name(), dir)
+	}
+	segs := s.AppendSegs(nil, start, dir, count)
+	idx := start.Clone()
+	k := int64(0)
+	for si, seg := range segs {
+		if seg.Count < 1 {
+			t.Fatalf("%s: segment %d has count %d", l.Name(), si, seg.Count)
+		}
+		for j := int64(0); j < seg.Count; j++ {
+			want := l.Offset(idx)
+			if got := seg.Start + j*seg.Stride; got != want {
+				t.Fatalf("%s: dir %v iteration %d: segment offset %d, Offset() %d",
+					l.Name(), dir, k, got, want)
+			}
+			for d := range idx {
+				idx[d] += dir[d]
+			}
+			k++
+		}
+	}
+	if k != count {
+		t.Fatalf("%s: segments cover %d iterations, want %d", l.Name(), k, count)
+	}
+}
+
+func TestPermutedStriderMatchesOffsets(t *testing.T) {
+	a := &poly.Array{Name: "A", Dims: []int64{4, 3, 5}}
+	for _, l := range []*PermutedLayout{RowMajor(a), ColMajor(a), Permuted(a, []int{1, 0, 2})} {
+		// Single-dimension walks in both directions, including a non-unit
+		// step, and a diagonal walk: affine layouts stride along any dir.
+		checkSegs(t, l, l, linalg.Vec{0, 0, 0}, linalg.Vec{0, 0, 1}, 5)
+		checkSegs(t, l, l, linalg.Vec{3, 2, 4}, linalg.Vec{0, 0, -1}, 5)
+		checkSegs(t, l, l, linalg.Vec{0, 1, 0}, linalg.Vec{1, 0, 0}, 4)
+		checkSegs(t, l, l, linalg.Vec{0, 0, 0}, linalg.Vec{0, 0, 2}, 3)
+		checkSegs(t, l, l, linalg.Vec{0, 0, 0}, linalg.Vec{1, 1, 1}, 3)
+		checkSegs(t, l, l, linalg.Vec{2, 1, 2}, linalg.Vec{0, 0, 0}, 4)
+	}
+}
+
+func TestOptimizedStriderMatchesOffsets(t *testing.T) {
+	for _, tc := range []struct {
+		src, arr string
+	}{{rowSrc, "A"}, {transposeSrc, "B"}} {
+		ol := optimizedFor(t, tc.src, tc.arr)
+		if ol.table != nil {
+			t.Fatalf("%s: expected the fast path", tc.arr)
+		}
+		// Strideable directions are exactly those inside the partition
+		// hyperplane (w·dir = 0).
+		for d := 0; d < 2; d++ {
+			dir := linalg.Vec{0, 0}
+			dir[d] = 1
+			if got, want := ol.CanStride(dir), ol.T.W.Dot(dir) == 0; got != want {
+				t.Errorf("%s: CanStride(%v) = %v, want %v", tc.arr, dir, got, want)
+			}
+		}
+		free := 0 // dimension with w component zero
+		if ol.T.W[0] == 0 {
+			free = 0
+		} else {
+			free = 1
+		}
+		for _, row := range []int64{0, 3, 7, 15} {
+			start := linalg.Vec{0, 0}
+			start[1-free] = row
+			dir := linalg.Vec{0, 0}
+			dir[free] = 1
+			checkSegs(t, ol, ol, start, dir, 16)
+			// Reverse walk from the far end, and a strided one.
+			start[free], dir[free] = 15, -1
+			checkSegs(t, ol, ol, start, dir, 16)
+			start[free], dir[free] = 1, 2
+			checkSegs(t, ol, ol, start, dir, 8)
+		}
+		// The zero direction is a constant walk.
+		checkSegs(t, ol, ol, linalg.Vec{2, 2}, linalg.Vec{0, 0}, 6)
+	}
+}
+
+func TestOptimizedStriderRejectsTablePath(t *testing.T) {
+	ol := optimizedFor(t, diagSrc, "A")
+	if ol.table == nil {
+		t.Fatal("expected the table fallback")
+	}
+	for _, dir := range []linalg.Vec{{0, 1}, {1, 0}, {1, -1}, {0, 0}} {
+		if ol.CanStride(dir) {
+			t.Errorf("table-path layout claims CanStride(%v)", dir)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 
 	"flopt/internal/fault"
@@ -76,7 +77,7 @@ type Machine struct {
 	// indices of in-flight sequential streams on storage node s — a
 	// multi-stream readahead detector (one file serves one stream per
 	// client thread, so a single last-position would never fire).
-	streams []map[streamKey]struct{}
+	streams []streamTable
 	// prefetches counts readahead fills performed.
 	prefetches int64
 
@@ -140,7 +141,7 @@ func NewMachine(cfg Config, hints []cache.RangeHint) (*Machine, error) {
 	}
 	for i := 0; i < cfg.StorageNodes; i++ {
 		m.disks = append(m.disks, disk.New(cfg.Disk))
-		m.streams = append(m.streams, map[streamKey]struct{}{})
+		m.streams = append(m.streams, streamTable{set: make(map[uint64]struct{})})
 	}
 	for t := range m.ioOf {
 		m.ioOf[t] = cfg.IONodeOf(t)
@@ -212,24 +213,67 @@ func (m *Machine) SetFileNames(names []string) {
 	}
 }
 
-// threadHeap orders active threads by virtual time (then id, for
-// determinism).
-type threadHeap struct {
-	time []int64
-	ids  []int
+// runHeap is a concrete binary min-heap over the active threads, ordered
+// by (virtual time, thread id). It replaces container/heap on the
+// scheduler hot path: each element packs that pair into a single int64 —
+// time in the high bits, id in the low idBits — so the strict total order
+// becomes one integer comparison, with no interface dispatch and no
+// indirection through the clock slice. Any valid heap under a strict total
+// order yields the same root sequence, so scheduling is bit-identical to
+// the previous container/heap implementation.
+type runHeap struct {
+	keys []int64
 }
 
-func (h *threadHeap) Len() int { return len(h.ids) }
-func (h *threadHeap) Less(a, b int) bool {
-	ta, tb := h.time[h.ids[a]], h.time[h.ids[b]]
-	if ta != tb {
-		return ta < tb
+func (h *runHeap) down(i int) {
+	n := len(h.keys)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			return
+		}
+		if r := j + 1; r < n && h.keys[r] < h.keys[j] {
+			j = r
+		}
+		if h.keys[j] >= h.keys[i] {
+			return
+		}
+		h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+		i = j
 	}
-	return h.ids[a] < h.ids[b]
 }
-func (h *threadHeap) Swap(a, b int) { h.ids[a], h.ids[b] = h.ids[b], h.ids[a] }
-func (h *threadHeap) Push(x any)    { h.ids = append(h.ids, x.(int)) }
-func (h *threadHeap) Pop() any      { x := h.ids[len(h.ids)-1]; h.ids = h.ids[:len(h.ids)-1]; return x }
+
+func (h *runHeap) init() {
+	for i := len(h.keys)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// fix restores the heap after the root's key increased (times only move
+// forward, so sifting down is sufficient).
+func (h *runHeap) fix() { h.down(0) }
+
+func (h *runHeap) pop() {
+	n := len(h.keys) - 1
+	h.keys[0] = h.keys[n]
+	h.keys = h.keys[:n]
+	h.down(0)
+}
+
+// limit returns the packed (time, id) bound the root thread must stay
+// within to keep its heap position: the smaller of its up-to-two children.
+// With no children the bound is unreachable and the root runs its stream
+// to completion.
+func (h *runHeap) limit() int64 {
+	lim := int64(math.MaxInt64)
+	if len(h.keys) > 1 {
+		lim = h.keys[1]
+		if len(h.keys) > 2 && h.keys[2] < lim {
+			lim = h.keys[2]
+		}
+	}
+	return lim
+}
 
 // Run executes the given nest traces in program order with a barrier
 // between nests and returns the report. The machine's caches keep their
@@ -259,11 +303,21 @@ const ctxCheckEvery = 8192
 func (m *Machine) RunContext(ctx context.Context, traces []*trace.NestTrace) (*Report, error) {
 	threads := m.cfg.Threads()
 	clock := make([]int64, threads) // ns
-	// pos and the heap's id slice are reused across nests (hot-path
-	// allocation trim: one allocation each per Run, not per nest).
+	// pos/sub and the heap's id slice are reused across nests (hot-path
+	// allocation trim: one allocation each per Run, not per nest). pos[t]
+	// indexes thread t's stream entry, sub[t] the block within its run.
 	pos := make([]int, threads)
-	ids := make([]int, 0, threads)
+	sub := make([]int32, threads)
+	keys := make([]int64, 0, threads)
 	var accesses int64
+
+	// Heap keys pack (clock, thread) into one int64: clock in the high
+	// bits, the thread id in the low idBits. The packing is order-preserving
+	// while clocks stay below maxClock (2^57 ns ≈ 4.5 virtual years at 16
+	// threads); the scheduler errors out rather than let a key wrap.
+	idBits := uint(bits.Len(uint(threads)))
+	idMask := int64(1)<<idBits - 1
+	maxClock := int64(1) << (62 - idBits)
 
 	if m.obsOn {
 		m.obs.Event(obs.Event{Kind: obs.EvRunStart, Node: -1, Thread: -1, File: -1,
@@ -285,33 +339,65 @@ func (m *Machine) RunContext(ctx context.Context, traces []*trace.NestTrace) (*R
 			m.obs.Event(obs.Event{TimeUS: barrier / 1000, Kind: obs.EvNestStart,
 				Node: -1, Thread: -1, File: -1, Detail: fmt.Sprintf("nest=%d", ni)})
 		}
-		h := &threadHeap{time: clock, ids: ids[:0]}
+		if barrier >= maxClock {
+			return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", barrier)
+		}
+		h := runHeap{keys: keys[:0]}
 		for t := 0; t < threads; t++ {
 			clock[t] = barrier
 			pos[t] = 0
+			sub[t] = 0
 			if len(nt.Streams[t]) > 0 {
-				h.ids = append(h.ids, t)
+				h.keys = append(h.keys, barrier<<idBits|int64(t))
 			}
 		}
-		heap.Init(h)
-		for h.Len() > 0 {
-			t := h.ids[0]
-			acc := nt.Streams[t][pos[t]]
-			clock[t] += m.serve(clock[t], t, acc)
-			accesses++
-			if accesses&(ctxCheckEvery-1) == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, fmt.Errorf("sim: run aborted after %d accesses: %w", accesses, err)
+		h.init()
+		// Scheduler with root batching: the root thread keeps serving
+		// blocks — walking run entries block by block — for as long as its
+		// packed key stays at or below the smaller of its heap children,
+		// which is exactly the condition under which a per-block heap fix
+		// would have left it at the root. Interleaving, stats and clocks are
+		// therefore identical to serving one block per heap operation.
+		for len(h.keys) > 0 {
+			t := int(h.keys[0] & idMask)
+			lim := h.limit()
+			stream := nt.Streams[t]
+			p, s := pos[t], sub[t]
+			c := clock[t]
+			for {
+				a := stream[p]
+				c += m.serve(c, t, a.File, a.Block+int64(s), a.Elems)
+				accesses++
+				if accesses&(ctxCheckEvery-1) == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, fmt.Errorf("sim: run aborted after %d accesses: %w", accesses, err)
+					}
 				}
-			}
-			if m.obsOn && accesses&(evictionSampleEvery-1) == 0 {
-				m.sampleEvictions(clock[t])
-			}
-			pos[t]++
-			if pos[t] >= len(nt.Streams[t]) {
-				heap.Pop(h)
-			} else {
-				heap.Fix(h, 0)
+				if m.obsOn && accesses&(evictionSampleEvery-1) == 0 {
+					m.sampleEvictions(c)
+				}
+				s++
+				if s > a.Run {
+					s = 0
+					p++
+					if p >= len(stream) {
+						if c >= maxClock {
+							return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", c)
+						}
+						clock[t], pos[t], sub[t] = c, p, s
+						h.pop()
+						break
+					}
+				}
+				if key := c<<idBits | int64(t); key > lim {
+					if c >= maxClock {
+						return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", c)
+					}
+					clock[t], pos[t], sub[t] = c, p, s
+					h.keys[0] = key
+					h.fix()
+					break
+				}
 			}
 		}
 	}
@@ -414,17 +500,19 @@ func toCacheNodeStats(in []cache.Stats) []obs.CacheNodeStats {
 }
 
 // serve routes one block request issued by thread t at the given virtual
-// time (ns) and returns its latency in nanoseconds.
-func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
+// time (ns) and returns its latency in nanoseconds. Run entries are served
+// block by block from the scheduler loop; striping sends consecutive
+// blocks of a run to different storage nodes, so there is no cross-block
+// cache transaction to batch below this level.
+func (m *Machine) serve(now int64, t int, file int32, block int64, elems int32) int64 {
 	if m.faults != nil {
-		return m.serveFaulty(now, t, acc)
+		return m.serveFaulty(now, t, file, block, elems)
 	}
 	io := m.ioOf[t]
-	st := m.striper.NodeOf(acc.Block)
-	blk := cache.BlockID{File: acc.File, Block: acc.Block}
-	out := m.mgr.Read(io, st, blk)
+	st := m.striper.NodeOf(block)
+	out := m.mgr.Read(io, st, cache.BlockID{File: file, Block: block})
 
-	lat := m.cfg.CPUPerElemNS*int64(acc.Elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
+	lat := m.cfg.CPUPerElemNS*int64(elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
 	switch out.Level {
 	case cache.HitIO:
 		// done
@@ -433,26 +521,23 @@ func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
 	case cache.HitDisk:
 		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
 		arrive := now + lat
-		local := m.striper.LocalIndex(acc.Block)
-		done := m.disks[st].Read(arrive, acc.File, local)
+		local := m.striper.LocalIndex(block)
+		done := m.disks[st].Read(arrive, file, local)
 		lat += done - arrive
 		// Server-side multi-stream detection: a demand read continuing
 		// any in-flight sequential stream of this file on this node arms
 		// readahead, as real per-flow readahead does.
-		key := streamKey{file: acc.File, next: local}
-		if _, ok := m.streams[st][key]; ok {
-			delete(m.streams[st], key)
-			m.readahead(now, acc)
-		} else if len(m.streams[st]) > maxStreams {
-			m.streams[st] = map[streamKey]struct{}{} // crude expiry
+		tab := &m.streams[st]
+		if tab.take(packStreamKey(file, local)) {
+			m.readahead(now, file, block)
 		}
-		m.streams[st][streamKey{file: acc.File, next: local + 1}] = struct{}{}
+		tab.insert(packStreamKey(file, local+1))
 	}
 	if out.Demoted {
 		lat += 1000 * m.cfg.NetISUS
 	}
 	if m.obsOn {
-		m.obs.BlockAccess(t, acc.File, obs.Level(out.Level), lat)
+		m.obs.BlockAccess(t, file, obs.Level(out.Level), lat)
 	}
 	return lat
 }
@@ -462,20 +547,19 @@ func (m *Machine) serve(now int64, t int, acc trace.Access) int64 {
 // exponential backoff, and replica reconstruction once the request
 // deadline expires. Every injected delay lands on the calling thread's
 // virtual clock, so fault runs replay bit-identically from the same seed.
-func (m *Machine) serveFaulty(now int64, t int, acc trace.Access) int64 {
+func (m *Machine) serveFaulty(now int64, t int, file int32, block int64, elems int32) int64 {
 	io := m.ioOf[t]
-	st := m.striper.NodeOf(acc.Block)
+	st := m.striper.NodeOf(block)
 	// Failover routing: requests owned by an unreachable storage node go
 	// to the node holding the replica stripe (chained declustering). On a
 	// single-node platform there is nowhere to fail over to.
 	down := m.cfg.StorageNodes > 1 && m.faults.NodeDownAt(st, now)
 	if down {
-		st = m.striper.ReplicaOf(acc.Block, 1)
+		st = m.striper.ReplicaOf(block, 1)
 	}
-	blk := cache.BlockID{File: acc.File, Block: acc.Block}
-	out := m.mgr.Read(io, st, blk)
+	out := m.mgr.Read(io, st, cache.BlockID{File: file, Block: block})
 
-	lat := m.cfg.CPUPerElemNS*int64(acc.Elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
+	lat := m.cfg.CPUPerElemNS*int64(elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
 	if down && out.Level != cache.HitIO {
 		// The redirect only costs (and counts) when the request actually
 		// leaves the I/O node.
@@ -483,7 +567,7 @@ func (m *Machine) serveFaulty(now int64, t int, acc trace.Access) int64 {
 		lat += 1000 * m.cfg.NetISUS
 		if m.obsOn {
 			m.obs.Event(obs.Event{TimeUS: now / 1000, Kind: obs.EvFailover,
-				Node: st, Thread: t, File: acc.File})
+				Node: st, Thread: t, File: file})
 		}
 	}
 	switch out.Level {
@@ -494,22 +578,19 @@ func (m *Machine) serveFaulty(now int64, t int, acc trace.Access) int64 {
 	case cache.HitDisk:
 		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
 		arrive := now + lat
-		lat += m.diskReadFaulty(arrive, st, acc)
-		local := m.striper.LocalIndex(acc.Block)
-		key := streamKey{file: acc.File, next: local}
-		if _, ok := m.streams[st][key]; ok {
-			delete(m.streams[st], key)
-			m.readahead(now, acc)
-		} else if len(m.streams[st]) > maxStreams {
-			m.streams[st] = map[streamKey]struct{}{} // crude expiry
+		lat += m.diskReadFaulty(arrive, st, file, block)
+		local := m.striper.LocalIndex(block)
+		tab := &m.streams[st]
+		if tab.take(packStreamKey(file, local)) {
+			m.readahead(now, file, block)
 		}
-		m.streams[st][streamKey{file: acc.File, next: local + 1}] = struct{}{}
+		tab.insert(packStreamKey(file, local+1))
 	}
 	if out.Demoted {
 		lat += 1000 * m.cfg.NetISUS
 	}
 	if m.obsOn {
-		m.obs.BlockAccess(t, acc.File, obs.Level(out.Level), lat)
+		m.obs.BlockAccess(t, file, obs.Level(out.Level), lat)
 	}
 	return lat
 }
@@ -520,14 +601,14 @@ func (m *Machine) serveFaulty(now int64, t int, acc trace.Access) int64 {
 // its full (possibly degraded) service time, then backs off; when the
 // retry budget or the request deadline runs out, the read is served by
 // replica reconstruction instead.
-func (m *Machine) diskReadFaulty(arrive int64, st int, acc trace.Access) int64 {
-	local := m.striper.LocalIndex(acc.Block)
+func (m *Machine) diskReadFaulty(arrive int64, st int, file int32, block int64) int64 {
+	local := m.striper.LocalIndex(block)
 	rate := m.faults.TransientErrorRate
 	deadline := arrive + m.timeoutNS
 	at := arrive
 	backoff := m.backoffNS
 	for attempt := 0; ; attempt++ {
-		done, _ := m.disks[st].ReadScaled(at, acc.File, local, m.faults.SlowFactorAt(st, at))
+		done, _ := m.disks[st].ReadScaled(at, file, local, m.faults.SlowFactorAt(st, at))
 		if rate <= 0 || m.rng.Float64() >= rate {
 			return done - arrive
 		}
@@ -535,10 +616,10 @@ func (m *Machine) diskReadFaulty(arrive int64, st int, acc trace.Access) int64 {
 			m.timeouts++
 			if m.obsOn {
 				m.obs.Event(obs.Event{TimeUS: done / 1000, Kind: obs.EvTimeout,
-					Node: st, Thread: -1, File: acc.File,
+					Node: st, Thread: -1, File: file,
 					Detail: fmt.Sprintf("attempts=%d", attempt+1)})
 			}
-			return m.reconstruct(done, st, acc.File, local, acc.Block) - arrive
+			return m.reconstruct(done, st, file, local, block) - arrive
 		}
 		m.retries++
 		if m.obsOn {
@@ -572,15 +653,82 @@ func (m *Machine) reconstruct(at int64, st int, file int32, local, block int64) 
 	return done
 }
 
-// streamKey identifies one expected stream continuation on a storage node.
-type streamKey struct {
-	file int32
-	next int64
+// packStreamKey packs one expected stream continuation (file, next local
+// block index) into a single map key. The cache layer's packBlockID guard
+// has already bounds-checked file and the global block index on this
+// request, and the local index never exceeds the global one.
+func packStreamKey(file int32, next int64) uint64 {
+	return uint64(uint32(file))<<streamKeyFileShift | uint64(next)
 }
+
+const streamKeyFileShift = 40
 
 // maxStreams bounds the per-node stream table (ample for one stream per
 // thread per file).
 const maxStreams = 4096
+
+// streamTable is the per-storage-node stream detector: a set of expected
+// continuations plus a FIFO insertion ring for bounded expiry. When the
+// table is full the oldest live stream is dropped — replacing the old
+// clear-the-whole-map expiry, which reallocated the map and forgot every
+// in-flight stream at once. Matched (taken) streams leave tombstones in
+// the ring that are skipped lazily and dropped on compaction.
+type streamTable struct {
+	set  map[uint64]struct{}
+	fifo []uint64
+	head int
+}
+
+// take removes key from the table, reporting whether it was present.
+func (s *streamTable) take(key uint64) bool {
+	if _, ok := s.set[key]; ok {
+		delete(s.set, key)
+		return true
+	}
+	return false
+}
+
+// insert adds key unless already tracked, expiring the oldest live stream
+// once the table is at capacity.
+func (s *streamTable) insert(key uint64) {
+	if _, ok := s.set[key]; ok {
+		return
+	}
+	if len(s.set) >= maxStreams {
+		for {
+			old := s.fifo[s.head]
+			s.head++
+			if _, live := s.set[old]; live {
+				delete(s.set, old)
+				break
+			}
+		}
+	}
+	if len(s.fifo)-s.head >= 2*maxStreams || (s.head > 0 && s.head >= len(s.fifo)/2) {
+		s.compact()
+	}
+	s.set[key] = struct{}{}
+	s.fifo = append(s.fifo, key)
+}
+
+// compact drops tombstones and the consumed ring prefix in place.
+func (s *streamTable) compact() {
+	live := s.fifo[:0]
+	for _, k := range s.fifo[s.head:] {
+		if _, ok := s.set[k]; ok {
+			live = append(live, k)
+		}
+	}
+	s.fifo = live
+	s.head = 0
+}
+
+// reset empties the table, keeping the map and ring storage.
+func (s *streamTable) reset() {
+	clear(s.set)
+	s.fifo = s.fifo[:0]
+	s.head = 0
+}
 
 // readahead pulls the next sequential blocks of the file into the storage
 // caches after a demand disk read (when enabled). Each prefetched block
@@ -589,7 +737,7 @@ const maxStreams = 4096
 // adds nothing to the requester's latency. Under fault injection,
 // unreachable nodes are skipped (nobody speculates into a dead node) and
 // fail-slow scaling applies.
-func (m *Machine) readahead(now int64, acc trace.Access) {
+func (m *Machine) readahead(now int64, file int32, block int64) {
 	if m.cfg.ReadaheadBlocks <= 0 {
 		return
 	}
@@ -598,21 +746,21 @@ func (m *Machine) readahead(now int64, acc trace.Access) {
 		return // policy does not accept readahead fills (e.g. KARMA)
 	}
 	for r := 1; r <= m.cfg.ReadaheadBlocks; r++ {
-		next := acc.Block + int64(r)
-		if int(acc.File) < len(m.fileBlocks) && next >= m.fileBlocks[acc.File] {
+		next := block + int64(r)
+		if int(file) < len(m.fileBlocks) && next >= m.fileBlocks[file] {
 			break // end of file
 		}
 		st := m.striper.NodeOf(next)
 		if m.faults != nil && m.faults.NodeDownAt(st, now) {
 			continue
 		}
-		blk := cache.BlockID{File: acc.File, Block: next}
+		blk := cache.BlockID{File: file, Block: next}
 		if pf.PrefetchStorage(st, blk) {
 			scale := 1.0
 			if m.faults != nil {
 				scale = m.faults.SlowFactorAt(st, now)
 			}
-			m.disks[st].ReadScaled(0, acc.File, m.striper.LocalIndex(next), scale)
+			m.disks[st].ReadScaled(0, file, m.striper.LocalIndex(next), scale)
 			m.prefetches++
 		}
 	}
@@ -625,7 +773,7 @@ func (m *Machine) Reset() {
 	m.mgr.Reset()
 	for i, d := range m.disks {
 		d.Reset()
-		m.streams[i] = map[streamKey]struct{}{}
+		m.streams[i].reset()
 	}
 	m.prefetches = 0
 	if m.faults != nil {

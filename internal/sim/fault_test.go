@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 
 	"flopt/internal/fault"
+	"flopt/internal/storage/cache"
 	"flopt/internal/trace"
 )
 
@@ -31,6 +33,84 @@ func reportsEqual(a, b *Report) bool {
 		}
 	}
 	return true
+}
+
+// expandTraces splits every compressed run entry into per-block accesses —
+// the exact streams the per-element walker would have produced.
+func expandTraces(traces []*trace.NestTrace) []*trace.NestTrace {
+	out := make([]*trace.NestTrace, len(traces))
+	for ni, nt := range traces {
+		e := &trace.NestTrace{Streams: make([][]trace.Access, len(nt.Streams))}
+		for th, s := range nt.Streams {
+			e.Streams[th] = trace.ExpandStream(s)
+		}
+		out[ni] = e
+	}
+	return out
+}
+
+// TestRunCompressedSimulationIdentical is the end-to-end identity gate for
+// run compression: simulating the compressed streams must replay
+// bit-identically to simulating their expanded (walker-equivalent) form,
+// for every cache policy, with and without fault injection, on both the
+// default and the optimized layout.
+func TestRunCompressedSimulationIdentical(t *testing.T) {
+	// Nest 1 (single-ref row scan) produces runs under the default layout;
+	// nest 2 (two interleaved refs) exercises the grouped multi-ref
+	// emitter; nest 3 (column scan) produces runs once the layout is
+	// optimized.
+	const runScan = `
+array A[64][64];
+array B[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read A[i][j]; } }
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read A[i][j]; read B[i][j]; } }
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read B[j][i]; } }
+`
+	for _, optimized := range []bool{false, true} {
+		base := smallConfig()
+		ft, traces := buildTraces(t, runScan, base, optimized)
+		expanded := expandTraces(traces)
+		compressedSomething := false
+		for ni := range traces {
+			for th := range traces[ni].Streams {
+				if len(traces[ni].Streams[th]) < len(expanded[ni].Streams[th]) {
+					compressedSomething = true
+				}
+			}
+		}
+		if !compressedSomething {
+			t.Fatalf("optimized=%v: no stream contains a run; identity test is vacuous", optimized)
+		}
+		for _, policy := range []string{"lru", "demote", "karma", "mq"} {
+			for _, fc := range []struct {
+				intensity float64
+				seed      int64
+			}{{0, 0}, {0.8, 12345}, {1, 99}} {
+				cfg := faultConfig(fc.intensity, fc.seed)
+				cfg.Policy = policy
+				var hints, hintsExp []cache.RangeHint
+				if policy == "karma" {
+					hints = GenerateHints(cfg, ft, traces)
+					hintsExp = GenerateHints(cfg, ft, expanded)
+					if !reflect.DeepEqual(hints, hintsExp) {
+						t.Fatalf("%s f=%.1f: hints differ between compressed and expanded traces", policy, fc.intensity)
+					}
+				}
+				r1, err := Simulate(cfg, traces, hints)
+				if err != nil {
+					t.Fatalf("%s f=%.1f compressed: %v", policy, fc.intensity, err)
+				}
+				r2, err := Simulate(cfg, expanded, hintsExp)
+				if err != nil {
+					t.Fatalf("%s f=%.1f expanded: %v", policy, fc.intensity, err)
+				}
+				if !reportsEqual(r1, r2) {
+					t.Errorf("optimized=%v policy=%s f=%.1f seed=%d: compressed and expanded runs diverge:\n%+v\n%+v",
+						optimized, policy, fc.intensity, fc.seed, r1, r2)
+				}
+			}
+		}
+	}
 }
 
 func TestFaultReplayBitIdentical(t *testing.T) {

@@ -13,6 +13,19 @@ type BlockID struct {
 	Block int64
 }
 
+// packBlockID packs b into a single uint64 map key — 24 bits of file id
+// above 40 bits of block index — so the policies' hot lookup maps use the
+// runtime's fast uint64 path instead of hashing a 16-byte struct. The
+// guard panics on ids outside that domain (including negatives, which the
+// unsigned conversions turn into huge values) rather than silently
+// colliding.
+func packBlockID(b BlockID) uint64 {
+	if uint64(b.Block) >= 1<<40 || uint64(uint32(b.File)) >= 1<<24 {
+		panic(fmt.Sprintf("cache: block id %+v outside the packed 24+40 bit key domain", b))
+	}
+	return uint64(uint32(b.File))<<40 | uint64(b.Block)
+}
+
 // Stats counts cache events.
 type Stats struct {
 	Accesses  int64
@@ -57,7 +70,7 @@ type entry struct {
 // The zero value is not usable; construct with NewLRU.
 type LRU struct {
 	cap     int
-	items   map[BlockID]*entry
+	items   map[uint64]*entry
 	head    *entry // most recently used
 	tail    *entry // least recently used
 	free    *entry // single-slot pool recycling evicted/removed nodes
@@ -71,7 +84,7 @@ func NewLRU(capacity int) *LRU {
 	if capacity < 0 {
 		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
 	}
-	return &LRU{cap: capacity, items: make(map[BlockID]*entry, capacity)}
+	return &LRU{cap: capacity, items: make(map[uint64]*entry, capacity)}
 }
 
 // SetEvictCallback registers a function invoked with each block evicted by
@@ -89,7 +102,7 @@ func (c *LRU) Stats() Stats { return c.stats }
 
 // Contains reports whether b is cached, without touching recency or stats.
 func (c *LRU) Contains(b BlockID) bool {
-	_, ok := c.items[b]
+	_, ok := c.items[packBlockID(b)]
 	return ok
 }
 
@@ -97,21 +110,22 @@ func (c *LRU) Contains(b BlockID) bool {
 // becomes most recently used. On a miss the block is inserted, evicting
 // the LRU victim if the cache is full. Returns whether the access hit.
 func (c *LRU) Access(b BlockID) bool {
+	key := packBlockID(b)
 	c.stats.Accesses++
-	if e, ok := c.items[b]; ok {
+	if e, ok := c.items[key]; ok {
 		c.stats.Hits++
 		c.moveToFront(e)
 		return true
 	}
 	c.stats.Misses++
-	c.Insert(b)
+	c.insert(b, key)
 	return false
 }
 
 // Probe looks up block b counting a hit or miss but never inserts.
 func (c *LRU) Probe(b BlockID) bool {
 	c.stats.Accesses++
-	if e, ok := c.items[b]; ok {
+	if e, ok := c.items[packBlockID(b)]; ok {
 		c.stats.Hits++
 		c.moveToFront(e)
 		return true
@@ -122,8 +136,10 @@ func (c *LRU) Probe(b BlockID) bool {
 
 // Insert places b at the MRU position (inserting it if absent), evicting
 // the LRU victim when full. No hit/miss is counted.
-func (c *LRU) Insert(b BlockID) {
-	if e, ok := c.items[b]; ok {
+func (c *LRU) Insert(b BlockID) { c.insert(b, packBlockID(b)) }
+
+func (c *LRU) insert(b BlockID, key uint64) {
+	if e, ok := c.items[key]; ok {
 		c.moveToFront(e)
 		return
 	}
@@ -140,26 +156,27 @@ func (c *LRU) Insert(b BlockID) {
 	} else {
 		e = &entry{id: b}
 	}
-	c.items[b] = e
+	c.items[key] = e
 	c.pushFront(e)
 }
 
 // Remove deletes b from the cache if present (no eviction callback).
 // Returns whether the block was present.
 func (c *LRU) Remove(b BlockID) bool {
-	e, ok := c.items[b]
+	key := packBlockID(b)
+	e, ok := c.items[key]
 	if !ok {
 		return false
 	}
 	c.unlink(e)
-	delete(c.items, b)
+	delete(c.items, key)
 	c.free = e
 	return true
 }
 
 // Reset clears contents and counters.
 func (c *LRU) Reset() {
-	c.items = make(map[BlockID]*entry, c.cap)
+	c.items = make(map[uint64]*entry, c.cap)
 	c.head, c.tail = nil, nil
 	c.free = nil
 	c.stats = Stats{}
@@ -171,7 +188,7 @@ func (c *LRU) evictLRU() {
 		return
 	}
 	c.unlink(v)
-	delete(c.items, v.id)
+	delete(c.items, packBlockID(v.id))
 	c.stats.Evictions++
 	id := v.id
 	// Recycle the node before the callback runs: DEMOTE-LRU's demotion

@@ -16,9 +16,9 @@ type MQ struct {
 	lifeTime int64
 
 	queues []*list.List // queues[i] front = LRU end
-	items  map[BlockID]*mqEntry
+	items  map[uint64]*mqEntry
 	out    *list.List // history (front = oldest)
-	outMap map[BlockID]*list.Element
+	outMap map[uint64]*list.Element
 	outCap int
 
 	now   int64
@@ -46,9 +46,9 @@ func NewMQ(capacity int) *MQ {
 		cap:      capacity,
 		numQ:     8,
 		lifeTime: int64(2*capacity) + 1,
-		items:    make(map[BlockID]*mqEntry, capacity),
+		items:    make(map[uint64]*mqEntry, capacity),
 		out:      list.New(),
-		outMap:   map[BlockID]*list.Element{},
+		outMap:   map[uint64]*list.Element{},
 		outCap:   4 * capacity,
 	}
 	m.queues = make([]*list.List, m.numQ)
@@ -90,10 +90,11 @@ func (m *MQ) adjust() {
 // remembered reference count), evicting from the lowest non-empty queue
 // when full. Returns whether the access hit.
 func (m *MQ) Access(b BlockID) bool {
+	key := packBlockID(b)
 	m.now++
 	m.adjust()
 	m.stats.Accesses++
-	if e, ok := m.items[b]; ok {
+	if e, ok := m.items[key]; ok {
 		m.stats.Hits++
 		e.refs++
 		m.queues[e.level].Remove(e.elem)
@@ -103,25 +104,27 @@ func (m *MQ) Access(b BlockID) bool {
 		return true
 	}
 	m.stats.Misses++
-	m.insert(b)
+	m.insertKey(b, key)
 	return false
 }
 
 // Contains reports residency without touching state.
 func (m *MQ) Contains(b BlockID) bool {
-	_, ok := m.items[b]
+	_, ok := m.items[packBlockID(b)]
 	return ok
 }
 
-func (m *MQ) insert(b BlockID) {
+func (m *MQ) insert(b BlockID) { m.insertKey(b, packBlockID(b)) }
+
+func (m *MQ) insertKey(b BlockID, key uint64) {
 	if m.cap == 0 {
 		return
 	}
 	refs := int64(1)
-	if el, ok := m.outMap[b]; ok {
+	if el, ok := m.outMap[key]; ok {
 		refs = el.Value.(*mqHist).refs + 1
 		m.out.Remove(el)
-		delete(m.outMap, b)
+		delete(m.outMap, key)
 	}
 	if len(m.items) >= m.cap {
 		m.evict()
@@ -129,7 +132,7 @@ func (m *MQ) insert(b BlockID) {
 	e := &mqEntry{id: b, refs: refs, expire: m.now + m.lifeTime}
 	e.level = m.queueFor(refs)
 	e.elem = m.queues[e.level].PushBack(e)
-	m.items[b] = e
+	m.items[key] = e
 }
 
 type mqHist struct {
@@ -144,16 +147,17 @@ func (m *MQ) evict() {
 		}
 		e := m.queues[i].Front().Value.(*mqEntry)
 		m.queues[i].Remove(e.elem)
-		delete(m.items, e.id)
+		key := packBlockID(e.id)
+		delete(m.items, key)
 		m.stats.Evictions++
 		// Remember the evicted block's frequency in Qout.
 		if m.outCap > 0 {
 			if m.out.Len() >= m.outCap {
 				old := m.out.Front()
-				delete(m.outMap, old.Value.(*mqHist).id)
+				delete(m.outMap, packBlockID(old.Value.(*mqHist).id))
 				m.out.Remove(old)
 			}
-			m.outMap[e.id] = m.out.PushBack(&mqHist{id: e.id, refs: e.refs})
+			m.outMap[key] = m.out.PushBack(&mqHist{id: e.id, refs: e.refs})
 		}
 		return
 	}
@@ -173,9 +177,9 @@ func (m *MQ) Reset() {
 	for i := range m.queues {
 		m.queues[i] = list.New()
 	}
-	m.items = make(map[BlockID]*mqEntry, m.cap)
+	m.items = make(map[uint64]*mqEntry, m.cap)
 	m.out = list.New()
-	m.outMap = map[BlockID]*list.Element{}
+	m.outMap = map[uint64]*list.Element{}
 	m.now = 0
 	m.stats = Stats{}
 }

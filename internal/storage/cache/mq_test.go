@@ -73,7 +73,7 @@ func TestMQExpiryDemotes(t *testing.T) {
 	}
 	// The hot block must have been demoted toward Q0 (it may even have
 	// been evicted); either way it no longer outranks active blocks.
-	if e, ok := m.items[hot]; ok && e.level >= 2 {
+	if e, ok := m.items[packBlockID(hot)]; ok && e.level >= 2 {
 		t.Errorf("expired block still at level %d", e.level)
 	}
 }

@@ -1,0 +1,365 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"flopt/internal/layout"
+	"flopt/internal/linalg"
+	"flopt/internal/parallel"
+	"flopt/internal/poly"
+)
+
+// This file implements closed-form run compression of the innermost loop:
+// instead of evaluating every reference at every iteration, the generator
+// decomposes each reference's innermost-loop walk into affine segments
+// (layout.Strider), advances from block boundary to block boundary in
+// O(blocks touched), and emits run-compressed Access entries whose
+// expansion is bit-identical to the per-element walker's output.
+
+// prepStride decides whether nest n's innermost loop can be emitted in
+// closed form and, if so, fills each refInfo's strider/dir. The span
+// emitter needs (a) a non-innermost parallel loop, so whole spans belong
+// to one thread and shard partitioning stays above the span level, and
+// (b) every reference strideable under its layout — mixing walked and
+// strided references would interleave wrongly with stream coalescing.
+func prepStride(n *poly.LoopNest, plan *parallel.Plan, infos []refInfo) bool {
+	d := n.Depth()
+	if d == 0 || plan.U == d-1 {
+		return false
+	}
+	step := n.Loops[d-1].Step
+	if step <= 0 {
+		step = 1
+	}
+	for ri := range infos {
+		inf := &infos[ri]
+		str, ok := inf.lay.(layout.Strider)
+		if !ok {
+			return false
+		}
+		rank := inf.ref.Array.Rank()
+		dir := make(linalg.Vec, rank)
+		for dim := 0; dim < rank; dim++ {
+			dir[dim] = inf.ref.Q.At(dim, d-1) * step
+		}
+		if !str.CanStride(dir) {
+			return false
+		}
+		inf.strider, inf.dir = str, dir
+	}
+	return true
+}
+
+// refCursor tracks one reference's position inside its segment list while
+// the span emitter sweeps the innermost iterations k = 0 … count-1.
+type refCursor struct {
+	segIdx  int
+	segBase int64 // k of the current segment's first iteration
+	blk     int64 // block at the current k
+	nextK   int64 // first k at which blk changes (or the segment ends)
+}
+
+// blockQuantum is a maximal group of adjacent references that touch the
+// same (file, block) at one iteration; the walker would coalesce the group
+// into `elems` consecutive element touches of that block.
+type blockQuantum struct {
+	file  int32
+	blk   int64
+	elems int32
+}
+
+// emitSpan emits the whole innermost loop at the outer iteration iv in
+// closed form. Correctness of the two shortcuts it takes:
+//
+//   - Bounds checking only the span endpoints suffices: along the span the
+//     data index moves by the constant vector dir per iteration, so every
+//     coordinate is monotone — if both endpoints lie inside the array box,
+//     every interior point does too. (On a violation the walker reports the
+//     first offending iteration; here it may be an interior point while we
+//     report an endpoint, but generation fails either way and the streams
+//     are discarded.)
+//
+//   - push quanta may be emitted at any granularity: the walker's stream is
+//     the RLE of the per-iteration touch sequence (ref 0 … ref m-1 at k,
+//     then k+1, …), and push computes exactly the run-compressed RLE of
+//     whatever touch sequence its quanta expand to. Emitting one quantum
+//     per (group, iteration-interval) expands to precisely the walker's
+//     sequence, so the compressed stream's expansion is bit-identical.
+func (g *shardGen) emitSpan(iv linalg.Vec) {
+	m := len(g.infos)
+	if m == 0 {
+		return
+	}
+	depth := g.nest.Depth() - 1
+	lo, hi := g.nest.Bounds(depth, iv[:depth])
+	if lo > hi {
+		return
+	}
+	step := g.nest.Loops[depth].Step
+	if step <= 0 {
+		step = 1
+	}
+	count := (hi-lo)/step + 1
+	b := g.blockElems
+
+	// Endpoint bounds checks first (the hi end before segment decomposition
+	// — AppendSegs assumes an in-array walk), then decompose from lo.
+	if count > 1 {
+		iv[depth] = lo + (count-1)*step
+		for ri := range g.infos {
+			inf := &g.infos[ri]
+			inf.ref.EvalInto(iv, g.dsts[ri])
+			if !inf.ref.Array.Contains(g.dsts[ri]) {
+				g.err = fmt.Errorf("trace: nest %d ref %s accesses %v outside %v at iteration %v",
+					g.ni, inf.ref, g.dsts[ri], inf.ref.Array.Dims, iv)
+				return
+			}
+		}
+	}
+	iv[depth] = lo
+	for ri := range g.infos {
+		inf := &g.infos[ri]
+		dst := g.dsts[ri]
+		inf.ref.EvalInto(iv, dst)
+		if !inf.ref.Array.Contains(dst) {
+			g.err = fmt.Errorf("trace: nest %d ref %s accesses %v outside %v at iteration %v",
+				g.ni, inf.ref, dst, inf.ref.Array.Dims, iv)
+			return
+		}
+		g.segs[ri] = inf.strider.AppendSegs(g.segs[ri][:0], dst, inf.dir, count)
+		seg := g.segs[ri][0]
+		g.curs[ri] = refCursor{blk: seg.Start / b, nextK: nextBlockChange(seg, 0, seg.Start/b, b)}
+	}
+
+	th := g.plan.ThreadOf(iv[g.plan.U])
+	stream := g.streams[th]
+	if stream == nil {
+		stream = g.newStream()
+	}
+	for k := int64(0); k < count; {
+		kNext := count
+		for ri := range g.curs {
+			if n := g.curs[ri].nextK; n < kNext {
+				kNext = n
+			}
+		}
+		span := kNext - k
+		if m == 1 {
+			stream = push(stream, g.infos[0].file, g.curs[0].blk, int32(span))
+		} else {
+			// Group adjacent references on the same (file, block); blocks
+			// are constant over [k, kNext), so the walker's touch sequence
+			// there is the group pattern repeated span times.
+			ng := 0
+			for ri := 0; ri < m; {
+				f, blk := g.infos[ri].file, g.curs[ri].blk
+				n := 1
+				for ri+n < m && g.infos[ri+n].file == f && g.curs[ri+n].blk == blk {
+					n++
+				}
+				g.groups[ng] = blockQuantum{file: f, blk: blk, elems: int32(n)}
+				ng++
+				ri += n
+			}
+			if ng == 1 {
+				stream = push(stream, g.groups[0].file, g.groups[0].blk, int32(span)*g.groups[0].elems)
+			} else {
+				stream = g.pushGroups(stream, ng, span)
+			}
+		}
+		k = kNext
+		if k >= count {
+			break
+		}
+		for ri := range g.curs {
+			cur := &g.curs[ri]
+			if cur.nextK > k {
+				continue
+			}
+			seg := g.segs[ri][cur.segIdx]
+			if k >= cur.segBase+seg.Count {
+				cur.segBase += seg.Count
+				cur.segIdx++
+				seg = g.segs[ri][cur.segIdx]
+			}
+			cur.blk = (seg.Start + (k-cur.segBase)*seg.Stride) / b
+			cur.nextK = nextBlockChange(seg, cur.segBase, cur.blk, b)
+		}
+	}
+	g.streams[th] = stream
+}
+
+// pushGroups emits span repetitions of the current group pattern
+// g.groups[:ng]. The first three repetitions go through push; if the
+// second and third appended byte-identical entry windows — and the third
+// left the second untouched, i.e. nothing merged across the repetition
+// boundary — then by induction every further repetition appends that same
+// window with the same final entry, so the remaining span-3 repetitions
+// are bulk-copied instead of re-deriving the RLE push by push. Any
+// boundary merge or window drift fails the comparison and the loop falls
+// back to per-repetition pushes, so the output is always exactly push's.
+func (g *shardGen) pushGroups(stream []Access, ng int, span int64) []Access {
+	rep := int64(0)
+	if span >= 5 {
+		for ; rep < 2; rep++ {
+			for gi := 0; gi < ng; gi++ {
+				q := g.groups[gi]
+				stream = push(stream, q.file, q.blk, q.elems)
+			}
+		}
+		base1 := len(stream)
+		for gi := 0; gi < ng; gi++ {
+			q := g.groups[gi]
+			stream = push(stream, q.file, q.blk, q.elems)
+		}
+		g.win = append(g.win[:0], stream[base1:]...)
+		base2 := len(stream)
+		for gi := 0; gi < ng; gi++ {
+			q := g.groups[gi]
+			stream = push(stream, q.file, q.blk, q.elems)
+		}
+		rep = 4
+		if w := g.win; len(w) > 0 && len(stream)-base2 == len(w) &&
+			windowsEqual(stream[base1:base2], w) && windowsEqual(stream[base2:], w) {
+			for ; rep < span; rep++ {
+				stream = append(stream, w...)
+			}
+			return stream
+		}
+	}
+	for ; rep < span; rep++ {
+		for gi := 0; gi < ng; gi++ {
+			q := g.groups[gi]
+			stream = push(stream, q.file, q.blk, q.elems)
+		}
+	}
+	return stream
+}
+
+func windowsEqual(a, b []Access) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// nextBlockChange returns the first iteration k at which the reference
+// walking seg (whose first iteration is segBase) leaves block blk, clamped
+// to the segment end. File offsets are non-negative, and within the
+// segment blk·b ≤ offset ≤ max(Start, current offset), so both floor
+// divisions have non-negative operands.
+func nextBlockChange(seg layout.Seg, segBase, blk, b int64) int64 {
+	end := segBase + seg.Count
+	var k int64
+	switch {
+	case seg.Stride > 0:
+		k = segBase + ((blk+1)*b-1-seg.Start)/seg.Stride + 1
+	case seg.Stride < 0:
+		k = segBase + (seg.Start-blk*b)/(-seg.Stride) + 1
+	default:
+		return end
+	}
+	if k > end {
+		k = end
+	}
+	return k
+}
+
+// push appends a quantum of e consecutive element touches of (f, b) to the
+// run-compressed stream s, preserving the invariant that s is exactly the
+// run-compressed RLE of the touch sequence pushed so far.
+func push(s []Access, f int32, b int64, e int32) []Access {
+	if n := len(s); n > 0 {
+		last := &s[n-1]
+		if last.File == f {
+			end := last.Block + int64(last.Run)
+			switch {
+			case b == end:
+				// Another touch of the run's final block.
+				if last.Run == 0 {
+					last.Elems += e
+					return s
+				}
+				// The final block now differs from the rest of the run:
+				// split it off as its own entry.
+				last.Run--
+				return append(s, Access{File: f, Block: b, Elems: last.Elems + e})
+			case b == end+1 && e == last.Elems:
+				last.Run++
+				return s
+			}
+		}
+	}
+	return append(s, Access{File: f, Block: b, Elems: e})
+}
+
+// newStream returns an empty stream buffer, preferring a pooled one.
+func (g *shardGen) newStream() []Access {
+	if g.pool != nil {
+		if buf := g.pool.Get(); buf != nil {
+			return buf
+		}
+	}
+	return make([]Access, 0, g.prealloc)
+}
+
+// ExpandStream returns the run-expanded, one-entry-per-block form of a
+// compressed stream — the exact output of the per-element walker.
+// Entries with Run = 0 pass through unchanged.
+func ExpandStream(s []Access) []Access {
+	if len(s) == 0 {
+		return nil
+	}
+	n := 0
+	for _, a := range s {
+		n += int(a.Run) + 1
+	}
+	out := make([]Access, 0, n)
+	for _, a := range s {
+		for r := int32(0); r <= a.Run; r++ {
+			out = append(out, Access{File: a.File, Block: a.Block + int64(r), Elems: a.Elems})
+		}
+	}
+	return out
+}
+
+// BufferPool recycles per-thread stream buffers across trace generations.
+// It is safe for concurrent use. The zero value is ready.
+type BufferPool struct {
+	mu   sync.Mutex
+	bufs [][]Access
+}
+
+// Get pops a recycled buffer (length 0) or returns nil when empty.
+func (p *BufferPool) Get() []Access {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.bufs); n > 0 {
+		buf := p.bufs[n-1]
+		p.bufs[n-1] = nil
+		p.bufs = p.bufs[:n-1]
+		return buf
+	}
+	return nil
+}
+
+// Put recycles every stream buffer of traces and clears the slices. The
+// caller must guarantee no reader still holds the streams.
+func (p *BufferPool) Put(traces []*NestTrace) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, nt := range traces {
+		if nt == nil {
+			continue
+		}
+		for i, s := range nt.Streams {
+			if cap(s) > 0 {
+				p.bufs = append(p.bufs, s[:0])
+			}
+			nt.Streams[i] = nil
+		}
+	}
+}

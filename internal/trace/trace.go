@@ -20,10 +20,17 @@ import (
 // element touches were coalesced into it — the simulator charges
 // element-proportional compute cost from it, keeping CPU time independent
 // of the file layout.
+//
+// Run compresses a maximal sequence of consecutive-block requests with
+// uniform Elems: the entry stands for the Run+1 blocks Block, Block+1, …,
+// Block+Run, each touched Elems times, in increasing order. Run = 0 (the
+// zero value) is a plain single-block request, so uncompressed streams
+// remain valid. ExpandStream recovers the one-entry-per-block form.
 type Access struct {
 	File  int32
 	Block int64
 	Elems int32
+	Run   int32
 }
 
 // FileTable assigns stable small integer ids to the program's arrays (one
@@ -75,11 +82,15 @@ type NestTrace struct {
 	Streams [][]Access
 }
 
-// TotalAccesses sums stream lengths.
+// TotalAccesses counts the block transactions across all streams, i.e.
+// the run-expanded length: a compressed entry contributes Run+1.
 func (nt *NestTrace) TotalAccesses() int64 {
 	var n int64
 	for _, s := range nt.Streams {
 		n += int64(len(s))
+		for _, a := range s {
+			n += int64(a.Run)
+		}
 	}
 	return n
 }
@@ -90,18 +101,23 @@ func (nt *NestTrace) TotalElems() int64 {
 	var n int64
 	for _, s := range nt.Streams {
 		for _, a := range s {
-			n += int64(a.Elems)
+			n += int64(a.Elems) * int64(a.Run+1)
 		}
 	}
 	return n
 }
 
 // refInfo is the resolved per-reference state of one nest (shared,
-// read-only across shard workers).
+// read-only across shard workers). strider/dir are the closed-form
+// innermost-walk capability, filled once by prepStride before the shard
+// workers start when every reference of the nest supports it.
 type refInfo struct {
 	ref  *poly.Reference
 	file int32
 	lay  layout.Layout
+
+	strider layout.Strider
+	dir     linalg.Vec // per-innermost-iteration data index delta
 }
 
 // Generate produces the access streams of every nest of p, in program
@@ -120,6 +136,23 @@ func Generate(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
 // for every worker count.
 func GenerateWorkers(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
 	ft *FileTable, blockElems int64, threads, workers int) ([]*NestTrace, error) {
+	return generateWorkers(p, plans, ft, blockElems, threads, workers, nil, false)
+}
+
+// GenerateWorkersPool is GenerateWorkers with stream buffers drawn from
+// pool. The caller owns the returned traces; recycling them with pool.Put
+// once no reader holds them lets repeated generations (e.g. experiment
+// cells) reuse the large per-thread allocations.
+func GenerateWorkersPool(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
+	ft *FileTable, blockElems int64, threads, workers int, pool *BufferPool) ([]*NestTrace, error) {
+	return generateWorkers(p, plans, ft, blockElems, threads, workers, pool, false)
+}
+
+// generateWorkers is the shared implementation. forceWalk disables the
+// closed-form span emitter so tests can compare it against the per-element
+// walker; the two paths produce bit-identical streams by construction.
+func generateWorkers(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
+	ft *FileTable, blockElems int64, threads, workers int, pool *BufferPool, forceWalk bool) ([]*NestTrace, error) {
 	if blockElems < 1 {
 		return nil, fmt.Errorf("trace: blockElems must be ≥ 1")
 	}
@@ -138,6 +171,7 @@ func GenerateWorkers(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
 			id := ft.ID(r.Array.Name)
 			infos[ri] = refInfo{ref: r, file: id, lay: ft.Layouts[id]}
 		}
+		canStride := !forceWalk && prepStride(n, plan, infos)
 		// Preallocate each thread's stream from a TotalElems-based
 		// estimate: the element-touch count is trip·refs, split across
 		// threads; coalescing shrinks it further, so a quarter of the
@@ -159,6 +193,7 @@ func GenerateWorkers(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
 			g := &shardGen{
 				nest: n, ni: ni, plan: plan, infos: infos, streams: nt.Streams,
 				blockElems: blockElems, shard: 0, shards: 1, prealloc: int(est),
+				canStride: canStride, pool: pool,
 			}
 			g.run()
 			if g.err != nil {
@@ -172,6 +207,7 @@ func GenerateWorkers(p *poly.Program, plans map[*poly.LoopNest]*parallel.Plan,
 				g := &shardGen{
 					nest: n, ni: ni, plan: plan, infos: infos, streams: nt.Streams,
 					blockElems: blockElems, shard: w, shards: shards, prealloc: int(est),
+					canStride: canStride, pool: pool,
 				}
 				gens[w] = g
 				go func() {
@@ -206,7 +242,13 @@ type shardGen struct {
 	shard      int
 	shards     int
 	prealloc   int
+	canStride  bool
+	pool       *BufferPool
 	dsts       []linalg.Vec
+	segs       [][]layout.Seg
+	curs       []refCursor
+	groups     []blockQuantum
+	win        []Access
 	err        error
 }
 
@@ -224,12 +266,21 @@ func (g *shardGen) run() {
 	for ri, inf := range g.infos {
 		g.dsts[ri] = make(linalg.Vec, inf.ref.Array.Rank())
 	}
+	if g.canStride {
+		g.segs = make([][]layout.Seg, len(g.infos))
+		g.curs = make([]refCursor, len(g.infos))
+		g.groups = make([]blockQuantum, len(g.infos))
+	}
 	iv := make(linalg.Vec, g.nest.Depth())
 	g.walk(0, iv)
 }
 
 func (g *shardGen) walk(depth int, iv linalg.Vec) {
 	if g.err != nil {
+		return
+	}
+	if g.canStride && depth == g.nest.Depth()-1 {
+		g.emitSpan(iv)
 		return
 	}
 	if depth == g.nest.Depth() {
@@ -278,7 +329,7 @@ func (g *shardGen) emit(iv linalg.Vec) {
 			continue
 		}
 		if stream == nil {
-			stream = make([]Access, 0, g.prealloc)
+			stream = g.newStream()
 		}
 		stream = append(stream, Access{File: inf.file, Block: blk, Elems: 1})
 	}

@@ -47,10 +47,14 @@ func TestGenerateRowMajorCoalesces(t *testing.T) {
 	}
 	nt := traces[0]
 	// Each thread reads 4 rows of 16 elements = 64 elements = 8 blocks
-	// after coalescing (block = 8 elements, rows are contiguous).
+	// after coalescing (block = 8 elements, rows are contiguous) — and the
+	// 8 consecutive blocks compress into a single run entry.
 	for th, s := range nt.Streams {
-		if len(s) != 8 {
-			t.Errorf("thread %d stream length = %d, want 8", th, len(s))
+		if got := len(ExpandStream(s)); got != 8 {
+			t.Errorf("thread %d expanded stream length = %d, want 8", th, got)
+		}
+		if len(s) != 1 {
+			t.Errorf("thread %d compressed stream length = %d, want 1 run entry", th, len(s))
 		}
 	}
 	if nt.TotalAccesses() != 32 {
@@ -58,7 +62,7 @@ func TestGenerateRowMajorCoalesces(t *testing.T) {
 	}
 	// Thread 1 owns rows 4..7 ⇒ blocks 8..15 of file 0.
 	want := int64(8)
-	for _, a := range nt.Streams[1] {
+	for _, a := range ExpandStream(nt.Streams[1]) {
 		if a.File != 0 || a.Block != want {
 			t.Errorf("thread 1 access = %+v, want block %d", a, want)
 		}
@@ -136,8 +140,8 @@ parallel(i) for i = 0 to 31 { for j = 0 to 31 { read B[j][i]; } }
 	// Optimized layout makes each thread's column sweep contiguous:
 	// 8 columns × 32 rows = 256 elements = 32 blocks per thread.
 	for th, s := range traces[0].Streams {
-		if len(s) != 32 {
-			t.Errorf("thread %d accesses = %d, want 32", th, len(s))
+		if got := len(ExpandStream(s)); got != 32 {
+			t.Errorf("thread %d accesses = %d, want 32", th, got)
 		}
 	}
 }
@@ -177,21 +181,37 @@ parallel(i) for i = 0 to 31 { for j = 0 to 31 { read A[i][j]; write B[j][i]; } }
 parallel(j) for i = 0 to 31 { for j = 0 to 31 { read B[i][j]; } }
 `
 	p, plans, ft := setup(t, src, 8)
-	ref, err := GenerateWorkers(p, plans, ft, 8, 8, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, workers := range []int{2, 3, 8, 16} {
-		got, err := GenerateWorkers(p, plans, ft, 8, 8, workers)
+	for _, blockElems := range []int64{1, 3, 8, 64} {
+		ref, err := GenerateWorkers(p, plans, ft, blockElems, 8, 1)
 		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
+			t.Fatal(err)
 		}
-		if len(got) != len(ref) {
-			t.Fatalf("workers=%d: %d nests, want %d", workers, len(got), len(ref))
-		}
-		for ni := range ref {
-			if !reflect.DeepEqual(got[ni].Streams, ref[ni].Streams) {
-				t.Errorf("workers=%d nest %d: streams differ from serial generation", workers, ni)
+		for _, workers := range []int{2, 3, 8, 16} {
+			got, err := GenerateWorkers(p, plans, ft, blockElems, 8, workers)
+			if err != nil {
+				t.Fatalf("blk=%d workers=%d: %v", blockElems, workers, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("blk=%d workers=%d: %d nests, want %d", blockElems, workers, len(got), len(ref))
+			}
+			for ni := range ref {
+				if !reflect.DeepEqual(got[ni].Streams, ref[ni].Streams) {
+					t.Errorf("blk=%d workers=%d nest %d: streams differ from serial generation", blockElems, workers, ni)
+				}
+			}
+			// The per-element walker must agree with the compressed fast path
+			// after run expansion, at every block size and worker count.
+			walked, err := generateWorkers(p, plans, ft, blockElems, 8, workers, nil, true)
+			if err != nil {
+				t.Fatalf("blk=%d workers=%d walker: %v", blockElems, workers, err)
+			}
+			for ni := range ref {
+				for th := range ref[ni].Streams {
+					if !reflect.DeepEqual(ExpandStream(ref[ni].Streams[th]), walked[ni].Streams[th]) {
+						t.Errorf("blk=%d workers=%d nest %d thread %d: expanded fast path differs from walker",
+							blockElems, workers, ni, th)
+					}
+				}
 			}
 		}
 	}
@@ -269,7 +289,7 @@ parallel(i) for i = 0 to 3 {
 			if a.Elems < 1 {
 				t.Fatalf("access with Elems = %d", a.Elems)
 			}
-			elems += int64(a.Elems)
+			elems += int64(a.Elems) * int64(a.Run+1)
 		}
 	}
 	// Total element touches = 4×16 = 64 regardless of coalescing.
@@ -280,12 +300,17 @@ parallel(i) for i = 0 to 3 {
 		t.Errorf("TotalElems = %d", nt.TotalElems())
 	}
 	// Row scan with 8-element blocks: 16 elements per row = 2 blocks,
-	// so each thread's 2 rows yield 4 accesses of 8 coalesced elements.
+	// so each thread's 2 rows expand to 4 accesses of 8 coalesced elements
+	// — compressed into one 4-block run entry.
 	for th, s := range nt.Streams {
-		if len(s) != 4 {
-			t.Errorf("thread %d accesses = %d, want 4", th, len(s))
+		if len(s) != 1 {
+			t.Errorf("thread %d compressed accesses = %d, want 1", th, len(s))
 		}
-		for _, a := range s {
+		ex := ExpandStream(s)
+		if len(ex) != 4 {
+			t.Errorf("thread %d accesses = %d, want 4", th, len(ex))
+		}
+		for _, a := range ex {
 			if a.Elems != 8 {
 				t.Errorf("thread %d access elems = %d, want 8", th, a.Elems)
 			}
