@@ -8,11 +8,16 @@
 #   make bench-compare — rerun the harness benchmarks and diff against the
 #                        recorded BENCH_harness.json entry (non-zero exit
 #                        on regression beyond BENCH_TOLERANCE)
+#   make serve-smoke   — boot floptd, drive one compile/offsets/simulate
+#                        round trip, verify /healthz + /metrics and the
+#                        graceful SIGTERM drain
+#   make loadtest      — measure the floptd offsets hot path and print the
+#                        RPS / latency-quantile JSON (see BENCH_service.json)
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check deprecations lint test race verify bench bench-harness bench-compare
+.PHONY: build vet fmt-check deprecations lint test race verify bench bench-harness bench-compare serve-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -53,3 +58,9 @@ bench-harness:
 
 bench-compare:
 	./scripts/bench_compare.sh
+
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+loadtest:
+	./scripts/loadtest_service.sh

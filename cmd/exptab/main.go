@@ -33,6 +33,7 @@ import (
 
 	"flopt/internal/exp"
 	"flopt/internal/sim"
+	"flopt/internal/version"
 )
 
 // expFn builds one table; every builder takes the run context first so ^C
@@ -109,8 +110,13 @@ func main() {
 		metricsOut = flag.String("metrics-out", "", "write one JSONL metric snapshot per experiment cell to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the experiments) to this file")
+		showVer    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("exptab"))
+		return
+	}
 
 	if *parallelN < 1 {
 		fmt.Fprintln(os.Stderr, "exptab: -parallel must be ≥ 1")

@@ -14,26 +14,44 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"flopt"
 	"flopt/internal/lang"
 	"flopt/internal/layout"
 	"flopt/internal/poly"
+	"flopt/internal/version"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("floptc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		computeN = flag.Int("compute", 64, "compute nodes")
-		ioN      = flag.Int("io", 16, "I/O nodes")
-		storageN = flag.Int("storage", 4, "storage nodes")
-		block    = flag.Int64("block", 64, "data block size in elements")
-		ioCache  = flag.Int("io-cache", 64, "I/O cache capacity in blocks")
-		stCache  = flag.Int("storage-cache", 128, "storage cache capacity in blocks")
-		workload = flag.String("workload", "", "compile a built-in benchmark instead of a file")
-		emit     = flag.Bool("emit", false, "print the transformed program")
+		computeN    = fs.Int("compute", 64, "compute nodes")
+		ioN         = fs.Int("io", 16, "I/O nodes")
+		storageN    = fs.Int("storage", 4, "storage nodes")
+		block       = fs.Int64("block", 64, "data block size in elements")
+		ioCache     = fs.Int("io-cache", 64, "I/O cache capacity in blocks")
+		stCache     = fs.Int("storage-cache", 128, "storage cache capacity in blocks")
+		workload    = fs.String("workload", "", "compile a built-in benchmark instead of a file")
+		emit        = fs.Bool("emit", false, "print the transformed program")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("floptc"))
+		return 0
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "floptc:", err)
+		return 1
+	}
 
 	var (
 		p   *flopt.Program
@@ -43,21 +61,21 @@ func main() {
 	case *workload != "":
 		w, werr := flopt.WorkloadByName(*workload)
 		if werr != nil {
-			fail(werr)
+			return fail(werr)
 		}
 		p, err = w.Program()
-	case flag.NArg() == 1:
-		src, rerr := os.ReadFile(flag.Arg(0))
+	case fs.NArg() == 1:
+		src, rerr := os.ReadFile(fs.Arg(0))
 		if rerr != nil {
-			fail(rerr)
+			return fail(rerr)
 		}
-		p, err = flopt.Compile(flag.Arg(0), string(src))
+		p, err = flopt.Compile(fs.Arg(0), string(src))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: floptc [flags] program.fl  (or -workload <name>)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: floptc [flags] program.fl  (or -workload <name>)")
+		return 2
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	cfg := flopt.DefaultConfig()
@@ -65,29 +83,30 @@ func main() {
 	cfg.BlockElems = *block
 	cfg.IOCacheBlocks, cfg.StorageCacheBlocks = *ioCache, *stCache
 	if err := cfg.Validate(); err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	res, err := flopt.Optimize(p, cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
-	fmt.Printf("program %s: %d arrays, %d loop nests, %d threads\n",
+	fmt.Fprintf(stdout, "program %s: %d arrays, %d loop nests, %d threads\n",
 		p.Name, len(p.Arrays), len(p.Nests), cfg.Threads())
-	fmt.Printf("pattern: %s\n\n", res.Pattern)
+	fmt.Fprintf(stdout, "pattern: %s\n\n", res.Pattern)
 	for _, a := range p.Arrays {
 		tr := res.Transforms[a.Name]
-		fmt.Printf("  %-10s %s\n", a.String(), tr)
-		fmt.Printf("  %-10s layout=%s fileElems=%d\n", "", res.Layouts[a.Name].Name(), res.Layouts[a.Name].SizeElems())
+		fmt.Fprintf(stdout, "  %-10s %s\n", a.String(), tr)
+		fmt.Fprintf(stdout, "  %-10s layout=%s fileElems=%d\n", "", res.Layouts[a.Name].Name(), res.Layouts[a.Name].SizeElems())
 	}
 	opt, total := res.OptimizedCount()
-	fmt.Printf("\noptimized %d/%d arrays (%.0f%%)\n", opt, total, 100*float64(opt)/float64(total))
+	fmt.Fprintf(stdout, "\noptimized %d/%d arrays (%.0f%%)\n", opt, total, 100*float64(opt)/float64(total))
 
 	if *emit {
-		fmt.Println("\n// transformed program (array index functions updated):")
-		fmt.Print(lang.Print(transformedProgram(p, res)))
+		fmt.Fprintln(stdout, "\n// transformed program (array index functions updated):")
+		fmt.Fprint(stdout, lang.Print(transformedProgram(p, res)))
 	}
+	return 0
 }
 
 // transformedProgram rewrites every reference to an optimized array into
@@ -115,9 +134,4 @@ func transformedProgram(p *flopt.Program, res *layout.Result) *flopt.Program {
 		out.Nests = append(out.Nests, nn)
 	}
 	return out
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "floptc:", err)
-	os.Exit(1)
 }

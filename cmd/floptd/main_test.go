@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunVersion(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -version = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "floptd ") {
+		t.Errorf("version banner = %q", out.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero workers", []string{"-workers", "0"}},
+		{"zero queue", []string{"-queue", "0"}},
+		{"zero cache", []string{"-cache", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != 2 {
+				t.Fatalf("run(%v) = %d, want 2", tc.args, code)
+			}
+			if !strings.Contains(errOut.String(), "must be") {
+				t.Errorf("stderr = %q", errOut.String())
+			}
+		})
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag: run = %d, want 2", code)
+	}
+}
+
+// TestRunLoadgenBadTarget exercises the loadgen entry point's error path
+// without a live daemon: an unreachable target fails cleanly.
+func TestRunLoadgenBadTarget(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-loadgen", "-target", "http://127.0.0.1:1", "-duration", "1s"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "floptd:") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}

@@ -12,25 +12,43 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"flopt"
 	"flopt/internal/layout"
 	"flopt/internal/linalg"
 	"flopt/internal/poly"
+	"flopt/internal/version"
 )
 
 const glyphs = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flvis", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "", "built-in benchmark name")
-		src      = flag.String("src", "", "mini-language source file")
-		array    = flag.String("array", "", "array to visualize (default: first)")
-		by       = flag.String("by", "thread", "color blocks by 'thread' or 'io' node")
-		width    = flag.Int("width", 64, "blocks per output line")
+		workload    = fs.String("workload", "", "built-in benchmark name")
+		src         = fs.String("src", "", "mini-language source file")
+		array       = fs.String("array", "", "array to visualize (default: first)")
+		by          = fs.String("by", "thread", "color blocks by 'thread' or 'io' node")
+		width       = fs.Int("width", 64, "blocks per output line")
+		showVersion = fs.Bool("version", false, "print version and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("flvis"))
+		return 0
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "flvis:", err)
+		return 1
+	}
 
 	var (
 		p   *flopt.Program
@@ -40,50 +58,51 @@ func main() {
 	case *workload != "":
 		w, werr := flopt.WorkloadByName(*workload)
 		if werr != nil {
-			fail(werr)
+			return fail(werr)
 		}
 		p, err = w.Program()
 	case *src != "":
 		text, rerr := os.ReadFile(*src)
 		if rerr != nil {
-			fail(rerr)
+			return fail(rerr)
 		}
 		p, err = flopt.Compile(*src, string(text))
 	default:
-		fmt.Fprintln(os.Stderr, "usage: flvis -workload <name> | -src <file> [-array A] [-by thread|io]")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: flvis -workload <name> | -src <file> [-array A] [-by thread|io]")
+		return 2
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	cfg := flopt.DefaultConfig()
 	res, err := flopt.Optimize(p, cfg)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	a := p.Arrays[0]
 	if *array != "" {
 		if a = p.Array(*array); a == nil {
-			fail(fmt.Errorf("no array %q in program (have %v)", *array, arrayNames(p)))
+			return fail(fmt.Errorf("no array %q in program (have %v)", *array, arrayNames(p)))
 		}
 	}
 	tr := res.Transforms[a.Name]
-	fmt.Printf("array %s — %s\n\n", a, tr)
+	fmt.Fprintf(stdout, "array %s — %s\n\n", a, tr)
 
-	fmt.Println("default (row-major):")
-	render(a, tr, layout.RowMajor(a), cfg, *by, *width)
-	fmt.Printf("\noptimized (%s):\n", res.Layouts[a.Name].Name())
-	render(a, tr, res.Layouts[a.Name], cfg, *by, *width)
-	fmt.Printf("\nlegend: one character per %d-element block; '%s' = %s id (mod %d), '.' = hole\n",
+	fmt.Fprintln(stdout, "default (row-major):")
+	render(stdout, a, tr, layout.RowMajor(a), cfg, *by, *width)
+	fmt.Fprintf(stdout, "\noptimized (%s):\n", res.Layouts[a.Name].Name())
+	render(stdout, a, tr, res.Layouts[a.Name], cfg, *by, *width)
+	fmt.Fprintf(stdout, "\nlegend: one character per %d-element block; '%s' = %s id (mod %d), '.' = hole\n",
 		cfg.BlockElems, "0-9a-zA-Z", *by, len(glyphs))
+	return 0
 }
 
 // render prints the block-ownership map of array a under layout l. A
 // block's owner is the thread owning the majority of its elements (per
 // the Step I partition); '.' marks blocks holding no data (holes).
-func render(a *poly.Array, tr *layout.Transform, l layout.Layout, cfg flopt.Config, by string, width int) {
+func render(w io.Writer, a *poly.Array, tr *layout.Transform, l layout.Layout, cfg flopt.Config, by string, width int) {
 	blocks := (l.SizeElems() + cfg.BlockElems - 1) / cfg.BlockElems
 	counts := make([]map[int]int, blocks)
 	idx := make(linalg.Vec, a.Rank())
@@ -121,12 +140,12 @@ func render(a *poly.Array, tr *layout.Transform, l layout.Layout, cfg flopt.Conf
 		}
 		line = append(line, ch)
 		if len(line) == width {
-			fmt.Println(string(line))
+			fmt.Fprintln(w, string(line))
 			line = line[:0]
 		}
 	}
 	if len(line) > 0 {
-		fmt.Println(string(line))
+		fmt.Fprintln(w, string(line))
 	}
 }
 
@@ -145,9 +164,4 @@ func arrayNames(p *flopt.Program) []string {
 		out = append(out, a.Name)
 	}
 	return out
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "flvis:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunWorkloadMap smoke-tests the renderer end to end: both the
+// default and optimized maps print, and the optimized map actually uses
+// more than one owner glyph (the interleaving the tool exists to show).
+func TestRunWorkloadMap(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-workload", "swim", "-width", "32"}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"default (row-major):", "optimized (", "legend:"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The optimized section must show at least two distinct owners.
+	optPart := got[strings.Index(got, "optimized ("):]
+	owners := map[rune]bool{}
+	for _, line := range strings.Split(optPart, "\n")[1:] {
+		if strings.HasPrefix(line, "legend:") {
+			break
+		}
+		for _, ch := range line {
+			if ch != '.' {
+				owners[ch] = true
+			}
+		}
+	}
+	if len(owners) < 2 {
+		t.Errorf("optimized map shows %d distinct owners, want ≥ 2:\n%s", len(owners), optPart)
+	}
+}
+
+// TestRunByIONode checks the -by io projection and explicit -array
+// selection work together.
+func TestRunByIONode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-workload", "swim", "-array", "UU", "-by", "io"}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "array UU[") {
+		t.Errorf("output not about UU:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{"no input", nil, 2, "usage:"},
+		{"unknown workload", []string{"-workload", "nonesuch"}, 1, "nonesuch"},
+		{"unknown array", []string{"-workload", "swim", "-array", "ZZ"}, 1, `no array "ZZ"`},
+		{"missing file", []string{"-src", "no-such-file.fl"}, 1, "no-such-file.fl"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			if code := run(tc.args, &out, &errOut); code != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.code, errOut.String())
+			}
+			if !strings.Contains(errOut.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errOut.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-version"}, &out, &errOut); code != 0 {
+		t.Fatalf("run -version = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "flvis ") {
+		t.Errorf("version banner = %q", out.String())
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"flopt"
 	"flopt/internal/exp"
 	"flopt/internal/sim"
+	"flopt/internal/version"
 )
 
 func main() {
@@ -37,8 +38,13 @@ func main() {
 		faults    = flag.Float64("faults", 0, "fault-injection intensity in [0,1] (0 = healthy platform)")
 		seed      = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical runs")
 		metrics   = flag.Bool("metrics", false, "collect and print the per-layer/per-array/per-node metrics breakdown")
+		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("runsim"))
+		return
+	}
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })

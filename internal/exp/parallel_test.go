@@ -299,7 +299,7 @@ func TestWorkersResolution(t *testing.T) {
 // error regardless of worker count.
 func TestForEachIndexError(t *testing.T) {
 	for _, par := range []int{1, 4} {
-		err := forEachIndex(context.Background(), par, 8, func(i int) error {
+		err := ForEachIndex(context.Background(), par, 8, func(i int) error {
 			if i >= 3 {
 				return fmt.Errorf("fail-%d", i)
 			}
@@ -309,7 +309,7 @@ func TestForEachIndexError(t *testing.T) {
 			t.Errorf("par=%d: err = %v, want fail-3", par, err)
 		}
 	}
-	if err := forEachIndex(context.Background(), 4, 0, func(int) error { return nil }); err != nil {
+	if err := ForEachIndex(context.Background(), 4, 0, func(int) error { return nil }); err != nil {
 		t.Errorf("empty range: %v", err)
 	}
 }

@@ -1,0 +1,79 @@
+package lang
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseErrorsWrapSentinel asserts the contract the HTTP service's 400
+// mapping depends on: every malformed program — truncated, structurally
+// broken, or semantically wrong — returns an error wrapping ErrBadProgram
+// and never panics.
+func TestParseErrorsWrapSentinel(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty source", ""},
+		{"only whitespace", "  \n\t\n"},
+		{"unclosed brace", "array A[4];\nfor i = 0 to 3 { read A[i];"},
+		{"stray close brace", "array A[4];\nfor i = 0 to 3 { read A[i]; } }"},
+		{"truncated declaration", "array A["},
+		{"truncated bounds", "array A[4];\nfor i = 0 to"},
+		{"truncated subscript", "array A[4];\nfor i = 0 to 3 { read A[i"},
+		{"missing subscripts", "array A[4];\nfor i = 0 to 3 { read A; }"},
+		{"star without iterator", "array A[4];\nfor i = 0 to 3 { read A[2*]; }"},
+		{"iterator times iterator", "array A[16];\nfor i = 0 to 3 { for j = 0 to 3 { read A[i*j]; } }"},
+		{"negative extent", "array A[-4];\nfor i = 0 to 3 { read A[i]; }"},
+		{"extent overflow", "array A[99999999999999999999];\nfor i = 0 to 3 { read A[i]; }"},
+		{"keyword as array", "array for[4];\nfor i = 0 to 3 { read for[i]; }"},
+		{"parallel without nest", "array A[4];\nparallel(i)"},
+		{"double parallel", "array A[4];\nparallel(i) parallel(i) for i = 0 to 3 { read A[i]; }"},
+		{"garbage", "{{{{;;;;]]]]"},
+		{"binary noise", "\x00\x01\x02 array \x7f"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Parse("t", c.src)
+			if err == nil {
+				t.Fatalf("no error for %q (got program %+v)", c.src, p)
+			}
+			if !errors.Is(err, ErrBadProgram) {
+				t.Errorf("error %q does not wrap ErrBadProgram", err)
+			}
+		})
+	}
+}
+
+// TestParseErrorPositions checks errors carry line:col positions so the
+// service can return actionable 400 bodies.
+func TestParseErrorPositions(t *testing.T) {
+	src := "array A[4];\narray A[4];\nfor i = 0 to 3 { read A[i]; }"
+	_, err := Parse("t", src)
+	if err == nil {
+		t.Fatal("redeclaration accepted")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q lacks a line-2 position", err)
+	}
+}
+
+// TestParseDeepNestingNoOverflow guards the recursive-descent parser
+// against stack overflow on adversarial nesting depth.
+func TestParseDeepNestingNoOverflow(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("array A[4];\n")
+	const depth = 2000
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "for i%d = 0 to 3 {\n", i)
+	}
+	b.WriteString("read A[i0];\n")
+	b.WriteString(strings.Repeat("}\n", depth))
+	// Either a parse (deep nests are legal) or a clean error is fine;
+	// the test exists to prove we don't crash the process.
+	if _, err := Parse("t", b.String()); err != nil && !errors.Is(err, ErrBadProgram) {
+		t.Errorf("deep nest error %q does not wrap ErrBadProgram", err)
+	}
+}

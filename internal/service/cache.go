@@ -1,0 +1,175 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"flopt/internal/layout"
+	"flopt/internal/poly"
+	"flopt/internal/sim"
+)
+
+// layoutID derives the stable public identifier of a compiled layout set:
+// a content hash over the program source and every configuration field
+// the optimizer consults (the same fields exp.Runner keys its prep cache
+// on). Identical submissions — byte-identical source under an equivalent
+// platform — always map to the same ID, across restarts and replicas.
+func layoutID(source string, cfg sim.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d\x00%d",
+		source, cfg.BlockElems, cfg.ComputeNodes, cfg.ThreadsPerCompute,
+		cfg.IONodes, cfg.StorageNodes, cfg.IOCacheBlocks, cfg.StorageCacheBlocks)
+	return "ly" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// compiled is one immutable cache entry: the parsed program, the
+// optimizer's result, and the platform it was compiled for. Entries are
+// never mutated after construction, so readers share them without locks;
+// eviction only drops the cache's reference (in-flight queries and jobs
+// keep theirs).
+type compiled struct {
+	ID      string
+	Source  string
+	Program *poly.Program
+	Result  *layout.Result
+	Cfg     sim.Config
+
+	arrays map[string]*poly.Array // name → array, for offset-query lookups
+}
+
+// layoutFor returns the layout and geometry of one array.
+func (c *compiled) layoutFor(name string) (layout.Layout, *poly.Array, bool) {
+	a, ok := c.arrays[name]
+	if !ok {
+		return nil, nil, false
+	}
+	return c.Result.Layouts[name], a, true
+}
+
+// compileCall is a singleflight slot for one layout ID: the first request
+// to present an ID compiles it, later ones wait on done. lastUse is the
+// cache's recency clock at the most recent request, driving LRU eviction
+// (all fields but ent/err guarded by compileCache.mu; ent and err are
+// written once before done closes).
+type compileCall struct {
+	done     chan struct{}
+	ent      *compiled
+	err      error
+	lastUse  uint64
+	finished bool
+}
+
+// compileCache deduplicates compilation work: identical submissions share
+// one build (singleflight), completed builds are kept in a bounded LRU.
+// It is the service twin of exp.Runner's prep cache — entries here are
+// immutable, so there is no refcounted buffer recycling to mirror.
+type compileCache struct {
+	mu      sync.Mutex
+	calls   map[string]*compileCall
+	seq     uint64
+	max     int
+	met     *metrics
+	compile func(source string, cfg sim.Config) (*compiled, error)
+}
+
+func newCompileCache(max int, met *metrics, compile func(string, sim.Config) (*compiled, error)) *compileCache {
+	return &compileCache{calls: map[string]*compileCall{}, max: max, met: met, compile: compile}
+}
+
+// get returns the compiled entry for (source, cfg), building it at most
+// once per ID regardless of how many requests race. The build runs on the
+// first caller's goroutine but is never abandoned on ctx cancellation —
+// joined waiters (and future requests) still receive the result; only
+// this caller's wait is cut short.
+func (cc *compileCache) get(ctx context.Context, source string, cfg sim.Config) (*compiled, bool, error) {
+	id := layoutID(source, cfg)
+	cc.mu.Lock()
+	cc.seq++
+	if c, ok := cc.calls[id]; ok {
+		c.lastUse = cc.seq
+		if c.finished {
+			cc.met.inc(mCompileCacheHits)
+		} else {
+			cc.met.inc(mCompileJoined)
+		}
+		cc.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.ent, true, c.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c := &compileCall{done: make(chan struct{}), lastUse: cc.seq}
+	cc.evictLocked()
+	cc.calls[id] = c
+	cc.mu.Unlock()
+
+	cc.met.inc(mCompileBuilds)
+	ent, err := cc.compile(source, cfg)
+	if ent != nil {
+		ent.ID = id
+	}
+	c.ent, c.err = ent, err
+
+	cc.mu.Lock()
+	c.finished = true
+	if err != nil && cc.calls[id] == c {
+		// Failed builds do not occupy a slot; the error still reaches
+		// every joined waiter through the call itself.
+		delete(cc.calls, id)
+	}
+	cc.met.gauge(mLayoutsResident, float64(len(cc.calls)))
+	cc.mu.Unlock()
+	close(c.done)
+	return c.ent, false, c.err
+}
+
+// lookup returns the resident entry for id without compiling, refreshing
+// its recency. The second result reports whether the ID is resident and
+// finished (an in-flight build is reported as absent: offset queries
+// against it would otherwise block the hot path on compilation).
+func (cc *compileCache) lookup(id string) (*compiled, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	c, ok := cc.calls[id]
+	if !ok || !c.finished || c.err != nil {
+		return nil, false
+	}
+	cc.seq++
+	c.lastUse = cc.seq
+	return c.ent, true
+}
+
+// evictLocked makes room for one more entry by dropping the least
+// recently used completed builds; in-flight builds are never evicted
+// (waiters deduplicate against them). Caller holds cc.mu.
+func (cc *compileCache) evictLocked() {
+	for len(cc.calls) >= cc.max {
+		var victim string
+		var victimCall *compileCall
+		for id, c := range cc.calls {
+			if !c.finished {
+				continue
+			}
+			if victimCall == nil || c.lastUse < victimCall.lastUse {
+				victim, victimCall = id, c
+			}
+		}
+		if victimCall == nil {
+			return
+		}
+		delete(cc.calls, victim)
+		cc.met.inc(mCompileEvictions)
+	}
+}
+
+// resident returns the number of resident entries (tests and /healthz).
+func (cc *compileCache) resident() int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return len(cc.calls)
+}

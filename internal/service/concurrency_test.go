@@ -1,0 +1,187 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCompileSingleflight is the singleflight proof the
+// acceptance criteria name: N identical programs submitted concurrently
+// compile exactly once, observed through the obs-backed counters.
+func TestConcurrentCompileSingleflight(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	const clients = 24
+	ids := make([]string, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			resp := compileTestProg(t, ts)
+			ids[c] = resp.LayoutID
+		}(c)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("divergent layout IDs: %q vs %q", id, ids[0])
+		}
+	}
+	if builds := s.Metrics().counter(mCompileBuilds); builds != 1 {
+		t.Errorf("compile builds = %d, want exactly 1 for %d concurrent identical submissions", builds, clients)
+	}
+	if reqs := s.Metrics().counter(mCompileRequests); reqs != clients {
+		t.Errorf("compile requests = %d, want %d", reqs, clients)
+	}
+	joined := s.Metrics().counter(mCompileJoined)
+	hits := s.Metrics().counter(mCompileCacheHits)
+	if joined+hits != clients-1 {
+		t.Errorf("joined (%d) + cache hits (%d) = %d, want %d", joined, hits, joined+hits, clients-1)
+	}
+}
+
+// TestParallelMixedClients drives compile, offset-query, simulate and
+// health traffic concurrently; under -race this is the service's
+// concurrent-safety proof.
+func TestParallelMixedClients(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.QueueDepth = 256 })
+	comp := compileTestProg(t, ts)
+	offURL := ts.URL + "/v1/layouts/" + comp.LayoutID + "/offsets"
+
+	const perKind = 8
+	var wg sync.WaitGroup
+	fail := make(chan string, perKind*4)
+	wg.Add(4 * perKind)
+	for c := 0; c < perKind; c++ {
+		go func() { // compilers: alternate identical and distinct platforms
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				req := compileRequest{Source: testProg}
+				if i%2 == 1 {
+					req.Config = &platformJSON{IOCacheBlocks: 32 + i}
+				}
+				if code, body := postJSON(t, ts.URL+"/v1/compile", req, nil); code != http.StatusOK {
+					fail <- "compile: " + body
+					return
+				}
+			}
+		}()
+		go func(c int) { // offset queriers on the hot path
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				req := offsetsRequest{Array: "A", Queries: []offsetQuery{
+					{Start: []int64{int64(c % 64), 0}, Dir: []int64{0, 1}, Count: 64},
+				}}
+				if code, body := postJSON(t, offURL, req, nil); code != http.StatusOK {
+					fail <- "offsets: " + body
+					return
+				}
+			}
+		}(c)
+		go func() { // simulate submitters (queue sized to accept all)
+			defer wg.Done()
+			var sub jobResponse
+			if code, body := postJSON(t, ts.URL+"/v1/simulate",
+				simulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
+				fail <- "simulate: " + body
+				return
+			}
+			if j := waitJob(t, ts, sub.JobID); j.State != jobDone {
+				fail <- "job: " + j.Error
+			}
+		}()
+		go func() { // health/metrics pollers
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				for _, path := range []string{"/healthz", "/metrics"} {
+					resp, err := http.Get(ts.URL + path)
+					if err != nil {
+						fail <- err.Error()
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fail <- path
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Error(msg)
+	}
+}
+
+// TestConcurrentEvictionAndQueries keeps the compile LRU tiny while
+// queries and compilations race, proving evicted entries stay usable by
+// in-flight readers (entries are immutable) and evicted IDs answer 404
+// rather than corrupting state.
+func TestConcurrentEvictionAndQueries(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) { c.CacheEntries = 2 })
+	comp := compileTestProg(t, ts)
+	offURL := ts.URL + "/v1/layouts/" + comp.LayoutID + "/offsets"
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // churn the cache with distinct platforms
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			req := compileRequest{Source: testProg, Config: &platformJSON{IOCacheBlocks: 16 + i}}
+			postJSON(t, ts.URL+"/v1/compile", req, nil)
+		}
+	}()
+	go func() { // hammer the original ID; 200 and 404 are both legal
+		defer wg.Done()
+		for i := 0; i < 32; i++ {
+			req := offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}}}
+			code, body := postJSON(t, offURL, req, nil)
+			if code != http.StatusOK && code != http.StatusNotFound {
+				t.Errorf("offsets under eviction: %d: %s", code, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Recompiling the evicted program restores the same content-derived ID.
+	again := compileTestProg(t, ts)
+	if again.LayoutID != comp.LayoutID {
+		t.Errorf("recompiled ID %q differs from original %q", again.LayoutID, comp.LayoutID)
+	}
+}
+
+// TestServerDrainCompletesAcceptedJobs exercises the full server drain:
+// jobs accepted before Drain complete, submissions after it are refused.
+func TestServerDrainCompletesAcceptedJobs(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.QueueDepth = 64 })
+	comp := compileTestProg(t, ts)
+	var ids []string
+	for i := 0; i < 6; i++ {
+		var sub jobResponse
+		code, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d: %s", i, code, body)
+		}
+		ids = append(ids, sub.JobID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		j, ok := s.jobs.status(id)
+		if !ok || j.state != jobDone {
+			t.Errorf("job %s: state %q after drain", id, j.state)
+		}
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, nil); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: status %d, want 503", code)
+	}
+}

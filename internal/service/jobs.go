@@ -1,0 +1,200 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states, in lifecycle order. A job is accepted the moment submit
+// returns its ID: from then on it is guaranteed to reach done or failed,
+// even across a graceful drain.
+const (
+	jobQueued  = "queued"
+	jobRunning = "running"
+	jobDone    = "done"
+	jobFailed  = "failed"
+)
+
+// errQueueFull rejects a submission when the bounded queue has no room;
+// the handler maps it to 429 + Retry-After. errDraining rejects
+// submissions after shutdown began (503).
+var (
+	errQueueFull = errors.New("service: simulate queue full")
+	errDraining  = errors.New("service: draining, not accepting jobs")
+)
+
+// job is one asynchronous simulation. All mutable fields are guarded by
+// the owning pool's mu; the request fields are immutable after submit.
+type job struct {
+	id  string
+	ent *compiled
+	req simulateRequest
+
+	state    string
+	report   *simReport
+	errMsg   string
+	queuedAt time.Time
+	doneAt   time.Time
+}
+
+// jobPool runs simulations on a fixed set of workers fed by a bounded
+// queue — the service reuses the harness's worker-pool discipline
+// (internal/exp/pool.go) with a channel in place of the index counter,
+// because jobs arrive over time instead of as a fixed grid.
+type jobPool struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for pruning finished jobs
+	queue    chan *job
+	wg       sync.WaitGroup
+	draining bool
+	running  int
+	seq      uint64
+	met      *metrics
+	run      func(ctx context.Context, j *job) (*simReport, error)
+	timeout  time.Duration
+	maxJobs  int
+}
+
+func newJobPool(workers, queueDepth, maxJobs int, timeout time.Duration, met *metrics,
+	run func(context.Context, *job) (*simReport, error)) *jobPool {
+	p := &jobPool{
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, queueDepth),
+		met:     met,
+		run:     run,
+		timeout: timeout,
+		maxJobs: maxJobs,
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// submit accepts a job for asynchronous execution, returning its ID. A
+// full queue returns errQueueFull without registering anything; a
+// draining pool returns errDraining.
+func (p *jobPool) submit(ent *compiled, req simulateRequest) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return "", errDraining
+	}
+	p.seq++
+	j := &job{
+		id:       fmt.Sprintf("job-%d", p.seq),
+		ent:      ent,
+		req:      req,
+		state:    jobQueued,
+		queuedAt: time.Now(),
+	}
+	select {
+	case p.queue <- j:
+	default:
+		p.seq-- // unused ID; keeps job numbering dense
+		return "", errQueueFull
+	}
+	p.jobs[j.id] = j
+	p.order = append(p.order, j.id)
+	p.pruneLocked()
+	p.met.gauge(mQueueDepth, float64(len(p.queue)))
+	return j.id, nil
+}
+
+// pruneLocked bounds the retained job records: beyond maxJobs, the oldest
+// finished jobs are forgotten (their IDs then 404). Unfinished jobs are
+// always retained. Caller holds p.mu.
+func (p *jobPool) pruneLocked() {
+	excess := len(p.jobs) - p.maxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := p.order[:0]
+	for _, id := range p.order {
+		j := p.jobs[id]
+		if excess > 0 && (j.state == jobDone || j.state == jobFailed) {
+			delete(p.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	p.order = kept
+}
+
+// status returns a point-in-time copy of the job record.
+func (p *jobPool) status(id string) (job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.jobs[id]
+	if !ok {
+		return job{}, false
+	}
+	return *j, true
+}
+
+func (p *jobPool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.mu.Lock()
+		j.state = jobRunning
+		p.running++
+		running := p.running
+		p.mu.Unlock()
+		p.met.gauge(mQueueDepth, float64(len(p.queue)))
+		p.met.gauge(mJobsRunning, float64(running))
+
+		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+		rep, err := p.run(ctx, j)
+		cancel()
+
+		p.mu.Lock()
+		j.doneAt = time.Now()
+		if err != nil {
+			j.state, j.errMsg = jobFailed, err.Error()
+		} else {
+			j.state, j.report = jobDone, rep
+		}
+		p.running--
+		running = p.running
+		p.pruneLocked()
+		p.mu.Unlock()
+		if err != nil {
+			p.met.inc(mJobsFailed)
+		} else {
+			p.met.inc(mJobsCompleted)
+		}
+		p.met.gauge(mJobsRunning, float64(running))
+	}
+}
+
+// drain stops accepting new jobs and waits for every accepted job —
+// queued or running — to finish, or for ctx to expire. Zero accepted
+// jobs are lost: workers run the closed queue dry before exiting.
+func (p *jobPool) drain(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.draining {
+		p.draining = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// depth returns the current queue length (healthz).
+func (p *jobPool) depth() int { return len(p.queue) }

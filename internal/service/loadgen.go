@@ -1,0 +1,157 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"flopt/internal/exp"
+)
+
+// LoadOptions configures one load-generation run against a running
+// daemon. The generator compiles Workload once, then hammers the
+// offset-query hot path from Concurrency keep-alive connections for
+// Duration, measuring client-side latency.
+type LoadOptions struct {
+	BaseURL     string
+	Workload    string
+	Duration    time.Duration
+	Concurrency int
+	// Batch is the number of queries per request body.
+	Batch int
+	// Count is the per-query run length (contiguous innermost-loop walk).
+	Count int64
+}
+
+// DefaultLoadOptions returns the BENCH_service.json measurement shape.
+func DefaultLoadOptions() LoadOptions {
+	return LoadOptions{
+		BaseURL:     "http://127.0.0.1:8080",
+		Workload:    "swim",
+		Duration:    10 * time.Second,
+		Concurrency: 32,
+		Batch:       4,
+		Count:       512,
+	}
+}
+
+// LoadResult is the measurement: request throughput and latency
+// quantiles (µs) over every completed request.
+type LoadResult struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	DurationS float64 `json:"duration_s"`
+	RPS       float64 `json:"rps"`
+	P50US     int64   `json:"p50_us"`
+	P90US     int64   `json:"p90_us"`
+	P99US     int64   `json:"p99_us"`
+	MaxUS     int64   `json:"max_us"`
+}
+
+// RunLoad executes the load test. It returns an error only when the
+// target cannot be reached or compiled against; per-request failures
+// during the measured window are counted in Errors.
+func RunLoad(ctx context.Context, opt LoadOptions) (*LoadResult, error) {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opt.Concurrency * 2,
+		MaxIdleConnsPerHost: opt.Concurrency * 2,
+	}}
+
+	// Compile once; every worker queries the resulting layout.
+	body, _ := json.Marshal(compileRequest{Workload: opt.Workload})
+	resp, err := client.Post(opt.BaseURL+"/v1/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: compile: %w", err)
+	}
+	var comp compileResponse
+	err = json.NewDecoder(resp.Body).Decode(&comp)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: compile: status %d (%v)", resp.StatusCode, err)
+	}
+	// Query the largest array along its innermost dimension — the
+	// contiguous-run case the Strider fast path serves in O(segments).
+	var array string
+	var dims []int64
+	for name, info := range comp.Arrays {
+		if array == "" || info.FileElems > comp.Arrays[array].FileElems {
+			array, dims = name, info.Dims
+		}
+	}
+	if array == "" {
+		return nil, fmt.Errorf("loadgen: compiled program has no arrays")
+	}
+	count := opt.Count
+	if last := dims[len(dims)-1]; count > last {
+		count = last
+	}
+	dir := make([]int64, len(dims))
+	dir[len(dims)-1] = 1
+	queries := make([]offsetQuery, opt.Batch)
+	for i := range queries {
+		start := make([]int64, len(dims))
+		start[0] = int64(i) % dims[0] // spread batches across rows
+		queries[i] = offsetQuery{Start: start, Dir: dir, Count: count}
+	}
+	qbody, _ := json.Marshal(offsetsRequest{Array: array, Queries: queries})
+	url := opt.BaseURL + "/v1/layouts/" + comp.LayoutID + "/offsets"
+
+	var mu sync.Mutex
+	latencies := make([][]int64, opt.Concurrency)
+	var errs int64
+	start := time.Now()
+	deadline := start.Add(opt.Duration)
+	err = exp.ForEachIndex(ctx, opt.Concurrency, opt.Concurrency, func(w int) error {
+		var lats []int64
+		var myErrs int64
+		for time.Now().Before(deadline) && ctx.Err() == nil {
+			t0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(qbody))
+			if err != nil {
+				myErrs++
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				myErrs++
+				continue
+			}
+			lats = append(lats, time.Since(t0).Microseconds())
+		}
+		mu.Lock()
+		latencies[w] = lats
+		errs += myErrs
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	var all []int64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := &LoadResult{
+		Requests:  int64(len(all)),
+		Errors:    errs,
+		DurationS: elapsed.Seconds(),
+		RPS:       float64(len(all)) / elapsed.Seconds(),
+	}
+	if len(all) > 0 {
+		res.P50US = all[len(all)*50/100]
+		res.P90US = all[len(all)*90/100]
+		res.P99US = all[len(all)*99/100]
+		res.MaxUS = all[len(all)-1]
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+
+	"flopt/internal/layout"
+	"flopt/internal/linalg"
+	"flopt/internal/poly"
+)
+
+// offsetQuery is one batch item: the file offsets of the index walk
+// start, start+dir, …, start+(count-1)·dir. Count defaults to 1 (a point
+// query, dir optional); every point of the walk must lie inside the
+// array.
+type offsetQuery struct {
+	Start []int64 `json:"start"`
+	Dir   []int64 `json:"dir,omitempty"`
+	Count int64   `json:"count,omitempty"`
+}
+
+// segJSON mirrors layout.Seg: offsets k = 0 … count-1 are start+k·stride.
+type segJSON struct {
+	Start  int64 `json:"start"`
+	Stride int64 `json:"stride"`
+	Count  int64 `json:"count"`
+}
+
+// offsetResult is the answer to one query: the walk decomposed into
+// maximal affine segments. Strided reports whether the layout's
+// closed-form Strider path produced them (O(segments)); false means the
+// per-element fallback walked and merged (O(count), charged against the
+// request's walk budget).
+type offsetResult struct {
+	Segs    []segJSON `json:"segs"`
+	Strided bool      `json:"strided"`
+}
+
+// resolveQuery validates q against array a and answers it under l.
+// walkBudget is the remaining per-request element budget for non-strided
+// layouts; the returned int64 is the budget consumed.
+func resolveQuery(l layout.Layout, a *poly.Array, q offsetQuery, walkBudget int64) (offsetResult, int64, error) {
+	count := q.Count
+	if count == 0 {
+		count = 1
+	}
+	if count < 0 {
+		return offsetResult{}, 0, fmt.Errorf("count %d is negative", count)
+	}
+	if len(q.Start) != a.Rank() {
+		return offsetResult{}, 0, fmt.Errorf("start has %d coordinates, array %s has rank %d", len(q.Start), a.Name, a.Rank())
+	}
+	if q.Dir != nil && len(q.Dir) != a.Rank() {
+		return offsetResult{}, 0, fmt.Errorf("dir has %d coordinates, array %s has rank %d", len(q.Dir), a.Name, a.Rank())
+	}
+	if count > 1 && q.Dir == nil {
+		return offsetResult{}, 0, fmt.Errorf("count %d needs a dir", count)
+	}
+	start := linalg.Vec(q.Start)
+	dir := make(linalg.Vec, a.Rank())
+	copy(dir, q.Dir)
+	// Each coordinate moves monotonically along the walk, so both
+	// endpoints inside the box means every point is.
+	for d := 0; d < a.Rank(); d++ {
+		end := start[d] + (count-1)*dir[d]
+		if start[d] < 0 || start[d] >= a.Dims[d] || end < 0 || end >= a.Dims[d] {
+			return offsetResult{}, 0, fmt.Errorf("walk leaves array %s on dimension %d: %d..%d outside [0,%d)",
+				a.Name, d, start[d], end, a.Dims[d])
+		}
+	}
+
+	if s, ok := l.(layout.Strider); ok && s.CanStride(dir) {
+		segs := s.AppendSegs(nil, start, dir, count)
+		return offsetResult{Segs: toSegJSON(segs), Strided: true}, 0, nil
+	}
+	if count > walkBudget {
+		return offsetResult{}, 0, fmt.Errorf("layout %s has no closed form along dir %v and count %d exceeds the remaining walk budget %d",
+			l.Name(), q.Dir, count, walkBudget)
+	}
+	return offsetResult{Segs: toSegJSON(walkSegs(l, start, dir, count))}, count, nil
+}
+
+// walkSegs is the per-element fallback: it evaluates Offset along the
+// walk and merges consecutive equal strides into maximal segments, so a
+// non-strideable but locally affine walk still compresses.
+func walkSegs(l layout.Layout, start, dir linalg.Vec, count int64) []layout.Seg {
+	idx := make(linalg.Vec, len(start))
+	copy(idx, start)
+	cur := layout.Seg{Start: l.Offset(idx), Count: 1}
+	var segs []layout.Seg
+	prev := cur.Start
+	for k := int64(1); k < count; k++ {
+		for d := range idx {
+			idx[d] += dir[d]
+		}
+		off := l.Offset(idx)
+		stride := off - prev
+		switch {
+		case cur.Count == 1:
+			cur.Stride, cur.Count = stride, 2
+		case stride == cur.Stride:
+			cur.Count++
+		default:
+			segs = append(segs, cur)
+			cur = layout.Seg{Start: off, Count: 1}
+		}
+		prev = off
+	}
+	return append(segs, cur)
+}
+
+func toSegJSON(segs []layout.Seg) []segJSON {
+	out := make([]segJSON, len(segs))
+	for i, s := range segs {
+		out[i] = segJSON{Start: s.Start, Stride: s.Stride, Count: s.Count}
+	}
+	return out
+}

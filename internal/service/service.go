@@ -1,0 +1,517 @@
+// Package service implements floptd: a long-running HTTP daemon that
+// turns the offline compilation pipeline into an online layout service.
+// It compiles submitted DSL programs once per content hash (singleflight
+// + LRU, the exp.Runner cache discipline applied to a server), answers
+// batch element→file-offset queries on the hot path through the
+// layout.Strider closed form, and runs simulations as asynchronous jobs
+// on a bounded worker pool with queue backpressure and graceful drain.
+// Everything is stdlib-only; /metrics is backed by internal/obs.
+//
+// Routes:
+//
+//	POST /v1/compile               compile (or dedup) a program, returns a stable layout ID
+//	POST /v1/layouts/{id}/offsets  batch element→offset queries as affine segments
+//	POST /v1/simulate              enqueue an async simulation job (202, or 429 when full)
+//	GET  /v1/jobs/{id}             poll job status and the finished report
+//	GET  /healthz                  liveness + queue/cache occupancy
+//	GET  /metrics                  Prometheus-format counters, gauges, latency histograms
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"flopt"
+	"flopt/internal/poly"
+	"flopt/internal/sim"
+	"flopt/internal/version"
+	"flopt/internal/workloads"
+)
+
+// Config sizes the service. The zero value is not runnable; start from
+// DefaultServerConfig.
+type Config struct {
+	// CacheEntries bounds the compiled-layout LRU.
+	CacheEntries int
+	// Workers is the simulate worker-pool width.
+	Workers int
+	// QueueDepth bounds the pending-job queue; a full queue answers 429.
+	QueueDepth int
+	// RetainedJobs bounds the finished-job records kept for polling.
+	RetainedJobs int
+	// CompileWait is how long a compile request waits for an in-flight
+	// build before answering 503 (the build itself continues).
+	CompileWait time.Duration
+	// SimTimeout is the per-job simulation deadline.
+	SimTimeout time.Duration
+	// WalkBudget caps the per-request element count offset queries may
+	// resolve through the per-element fallback (the Strider closed form
+	// is exempt: it is O(segments) regardless of count).
+	WalkBudget int64
+	// MaxBodyBytes caps request bodies.
+	MaxBodyBytes int64
+	// Platform is the base platform compiled against; per-request config
+	// overrides apply on top of it.
+	Platform sim.Config
+}
+
+// DefaultServerConfig returns the sizing floptd starts with.
+func DefaultServerConfig() Config {
+	return Config{
+		CacheEntries: 128,
+		Workers:      2,
+		QueueDepth:   64,
+		RetainedJobs: 1024,
+		CompileWait:  30 * time.Second,
+		SimTimeout:   120 * time.Second,
+		WalkBudget:   1 << 20,
+		MaxBodyBytes: 1 << 20,
+		Platform:     sim.DefaultConfig(),
+	}
+}
+
+// Server is the service instance: compile cache, job pool, metrics, and
+// the HTTP mux over them. Create with New, serve Handler, and call Drain
+// on shutdown.
+type Server struct {
+	cfg   Config
+	met   *metrics
+	cache *compileCache
+	jobs  *jobPool
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg, met: newMetrics(), start: time.Now()}
+	s.cache = newCompileCache(cfg.CacheEntries, s.met, s.build)
+	s.jobs = newJobPool(cfg.Workers, cfg.QueueDepth, cfg.RetainedJobs, cfg.SimTimeout, s.met, s.runJob)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	s.mux.HandleFunc("POST /v1/layouts/{id}/offsets", s.instrument("offsets", s.handleOffsets))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting simulation jobs and waits for every accepted job
+// to finish (or ctx to expire). Call after http.Server.Shutdown so no
+// new submissions race the drain.
+func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
+
+// Metrics exposes the counter set (tests and floptd logging).
+func (s *Server) Metrics() *metrics { return s.met }
+
+// ---- JSON wire types ----
+
+// platformJSON is the per-request platform override set; zero fields
+// keep the server's base platform value.
+type platformJSON struct {
+	ComputeNodes       int    `json:"compute_nodes,omitempty"`
+	IONodes            int    `json:"io_nodes,omitempty"`
+	StorageNodes       int    `json:"storage_nodes,omitempty"`
+	ThreadsPerCompute  int    `json:"threads_per_compute,omitempty"`
+	BlockElems         int64  `json:"block_elems,omitempty"`
+	IOCacheBlocks      int    `json:"io_cache_blocks,omitempty"`
+	StorageCacheBlocks int    `json:"storage_cache_blocks,omitempty"`
+	Policy             string `json:"policy,omitempty"`
+}
+
+func (o *platformJSON) apply(cfg sim.Config) sim.Config {
+	if o == nil {
+		return cfg
+	}
+	if o.ComputeNodes > 0 {
+		cfg.ComputeNodes = o.ComputeNodes
+	}
+	if o.IONodes > 0 {
+		cfg.IONodes = o.IONodes
+	}
+	if o.StorageNodes > 0 {
+		cfg.StorageNodes = o.StorageNodes
+	}
+	if o.ThreadsPerCompute > 0 {
+		cfg.ThreadsPerCompute = o.ThreadsPerCompute
+	}
+	if o.BlockElems > 0 {
+		cfg.BlockElems = o.BlockElems
+	}
+	if o.IOCacheBlocks > 0 {
+		cfg.IOCacheBlocks = o.IOCacheBlocks
+	}
+	if o.StorageCacheBlocks > 0 {
+		cfg.StorageCacheBlocks = o.StorageCacheBlocks
+	}
+	if o.Policy != "" {
+		cfg.Policy = o.Policy
+	}
+	return cfg
+}
+
+type compileRequest struct {
+	// Source is the mini-language program; Workload selects a built-in
+	// benchmark instead. Exactly one must be set.
+	Source   string        `json:"source,omitempty"`
+	Workload string        `json:"workload,omitempty"`
+	Config   *platformJSON `json:"config,omitempty"`
+}
+
+type arrayInfo struct {
+	Dims      []int64 `json:"dims"`
+	Layout    string  `json:"layout"`
+	FileElems int64   `json:"file_elems"`
+	Optimized bool    `json:"optimized"`
+}
+
+type compileResponse struct {
+	LayoutID    string               `json:"layout_id"`
+	Cached      bool                 `json:"cached"`
+	Pattern     string               `json:"pattern"`
+	Arrays      map[string]arrayInfo `json:"arrays"`
+	Optimized   int                  `json:"optimized"`
+	TotalArrays int                  `json:"total_arrays"`
+}
+
+type offsetsRequest struct {
+	Array   string        `json:"array"`
+	Queries []offsetQuery `json:"queries"`
+}
+
+type offsetsResponse struct {
+	LayoutID  string         `json:"layout_id"`
+	Array     string         `json:"array"`
+	FileElems int64          `json:"file_elems"`
+	Results   []offsetResult `json:"results"`
+}
+
+type simulateRequest struct {
+	LayoutID string `json:"layout_id"`
+	// Optimized selects the compiled layouts (default true); false runs
+	// the row-major default execution for comparison.
+	Optimized *bool   `json:"optimized,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+	Faults    float64 `json:"faults,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// simReport is the job result: the execution report projected to its
+// serving-relevant fields.
+type simReport struct {
+	ExecTimeUS       int64   `json:"exec_time_us"`
+	Accesses         int64   `json:"accesses"`
+	DiskReads        int64   `json:"disk_reads"`
+	IOMissPct        float64 `json:"io_miss_pct"`
+	StorageMissPct   float64 `json:"storage_miss_pct"`
+	Policy           string  `json:"policy"`
+	Retries          int64   `json:"retries,omitempty"`
+	Timeouts         int64   `json:"timeouts,omitempty"`
+	DegradedReads    int64   `json:"degraded_reads,omitempty"`
+	FailedOverBlocks int64   `json:"failed_over_blocks,omitempty"`
+}
+
+type jobResponse struct {
+	JobID  string     `json:"job_id"`
+	State  string     `json:"state"`
+	Report *simReport `json:"report,omitempty"`
+	Error  string     `json:"error,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+// instrument wraps a handler with the request counter and the per-route
+// latency histogram.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inc(mHTTPRequests)
+		h(w, r)
+		s.met.observe(route, time.Since(start).Microseconds())
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.met.inc(mHTTPErrors)
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses the JSON body into v under the body-size cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.met.inc(mCompileRequests)
+	var req compileRequest
+	if !s.decode(w, r, &req) {
+		s.met.inc(mCompileErrors)
+		return
+	}
+	source := req.Source
+	switch {
+	case req.Source != "" && req.Workload != "":
+		s.met.inc(mCompileErrors)
+		s.fail(w, http.StatusBadRequest, "set exactly one of source and workload")
+		return
+	case req.Workload != "":
+		wl, ok := workloads.ByName(req.Workload)
+		if !ok {
+			s.met.inc(mCompileErrors)
+			s.fail(w, http.StatusBadRequest, "unknown workload %q (have %v)", req.Workload, workloads.Names())
+			return
+		}
+		source = wl.Source
+	case req.Source == "":
+		s.met.inc(mCompileErrors)
+		s.fail(w, http.StatusBadRequest, "set exactly one of source and workload")
+		return
+	}
+	cfg := req.Config.apply(s.cfg.Platform)
+	if err := cfg.Validate(); err != nil {
+		s.met.inc(mCompileErrors)
+		s.fail(w, http.StatusBadRequest, "invalid config: %v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CompileWait)
+	defer cancel()
+	ent, cached, err := s.cache.get(ctx, source, cfg)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The build keeps running; resubmitting the same program later
+		// joins or hits it.
+		s.met.inc(mCompileErrors)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusServiceUnavailable, "compilation still in progress, retry")
+		return
+	case errors.Is(err, flopt.ErrBadProgram), errors.Is(err, flopt.ErrBadConfig):
+		s.met.inc(mCompileErrors)
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	default:
+		// Optimizer rejections (e.g. degenerate hierarchies) are request
+		// problems too: the same submission will always fail.
+		s.met.inc(mCompileErrors)
+		s.fail(w, http.StatusUnprocessableEntity, "optimization failed: %v", err)
+		return
+	}
+
+	resp := compileResponse{
+		LayoutID: ent.ID,
+		Cached:   cached,
+		Pattern:  ent.Result.Pattern.String(),
+		Arrays:   make(map[string]arrayInfo, len(ent.Program.Arrays)),
+	}
+	for _, a := range ent.Program.Arrays {
+		l := ent.Result.Layouts[a.Name]
+		tr := ent.Result.Transforms[a.Name]
+		resp.Arrays[a.Name] = arrayInfo{
+			Dims:      a.Dims,
+			Layout:    l.Name(),
+			FileElems: l.SizeElems(),
+			Optimized: tr != nil && tr.Optimized(),
+		}
+	}
+	resp.Optimized, resp.TotalArrays = ent.Result.OptimizedCount()
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// build is the cache's compile function: parse + optimize, plus the
+// array index the offset path needs.
+func (s *Server) build(source string, cfg sim.Config) (*compiled, error) {
+	p, err := flopt.Compile("program", source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := flopt.Optimize(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ent := &compiled{Source: source, Program: p, Result: res, Cfg: cfg,
+		arrays: make(map[string]*poly.Array, len(p.Arrays))}
+	for _, a := range p.Arrays {
+		ent.arrays[a.Name] = a
+	}
+	return ent, nil
+}
+
+func (s *Server) handleOffsets(w http.ResponseWriter, r *http.Request) {
+	s.met.inc(mOffsetsRequests)
+	id := r.PathValue("id")
+	ent, ok := s.cache.lookup(id)
+	if !ok {
+		s.met.inc(mOffsetsErrors)
+		s.fail(w, http.StatusNotFound, "unknown layout %q (evicted or never compiled: re-POST /v1/compile — identical programs get identical IDs)", id)
+		return
+	}
+	var req offsetsRequest
+	if !s.decode(w, r, &req) {
+		s.met.inc(mOffsetsErrors)
+		return
+	}
+	l, a, ok := ent.layoutFor(req.Array)
+	if !ok {
+		s.met.inc(mOffsetsErrors)
+		s.fail(w, http.StatusBadRequest, "layout %s has no array %q", id, req.Array)
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.met.inc(mOffsetsErrors)
+		s.fail(w, http.StatusBadRequest, "empty query batch")
+		return
+	}
+	resp := offsetsResponse{LayoutID: id, Array: req.Array, FileElems: l.SizeElems(),
+		Results: make([]offsetResult, len(req.Queries))}
+	budget := s.cfg.WalkBudget
+	var queries, segs, strided, walked int64
+	for i, q := range req.Queries {
+		res, used, err := resolveQuery(l, a, q, budget)
+		if err != nil {
+			s.met.inc(mOffsetsErrors)
+			s.met.add(mOffsetsQueries, queries)
+			s.fail(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		budget -= used
+		walked += used
+		queries++
+		segs += int64(len(res.Segs))
+		if res.Strided {
+			strided++
+		}
+		resp.Results[i] = res
+	}
+	s.met.add(mOffsetsQueries, queries)
+	s.met.add(mOffsetsSegments, segs)
+	s.met.add(mOffsetsStrided, strided)
+	s.met.add(mOffsetsWalked, walked)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ent, ok := s.cache.lookup(req.LayoutID)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown layout %q", req.LayoutID)
+		return
+	}
+	// Config.Validate covers the numeric fields; the policy is resolved
+	// later (machine construction), so reject unknown names here instead
+	// of failing the job after acceptance.
+	switch req.Policy {
+	case "", "lru", "demote", "karma":
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown policy %q (want lru, demote or karma)", req.Policy)
+		return
+	}
+	cfg := ent.Cfg
+	if req.Policy != "" {
+		cfg.Policy = req.Policy
+	}
+	cfg.FaultIntensity, cfg.FaultSeed = req.Faults, req.Seed
+	if err := cfg.Validate(); err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid simulate config: %v", err)
+		return
+	}
+	id, err := s.jobs.submit(ent, req)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.met.inc(mJobsRejected)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "simulate queue full (depth %d), retry", s.cfg.QueueDepth)
+		return
+	case errors.Is(err, errDraining):
+		s.fail(w, http.StatusServiceUnavailable, "shutting down, not accepting jobs")
+		return
+	case err != nil:
+		s.fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.met.inc(mJobsSubmitted)
+	w.Header().Set("Location", "/v1/jobs/"+id)
+	s.writeJSON(w, http.StatusAccepted, jobResponse{JobID: id, State: jobQueued})
+}
+
+// runJob executes one simulation job through the public Run API.
+func (s *Server) runJob(ctx context.Context, j *job) (*simReport, error) {
+	cfg := j.ent.Cfg
+	if j.req.Policy != "" {
+		cfg.Policy = j.req.Policy
+	}
+	var opts []flopt.RunOption
+	if j.req.Optimized == nil || *j.req.Optimized {
+		opts = append(opts, flopt.WithResult(j.ent.Result))
+	}
+	if j.req.Faults > 0 {
+		opts = append(opts, flopt.WithFaults(j.req.Faults, j.req.Seed))
+	}
+	rep, err := flopt.Run(ctx, j.ent.Program, cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &simReport{
+		ExecTimeUS:       rep.ExecTimeUS,
+		Accesses:         rep.Accesses,
+		DiskReads:        rep.DiskReads,
+		IOMissPct:        100 * rep.IOMissRate(),
+		StorageMissPct:   100 * rep.StorageMissRate(),
+		Policy:           rep.PolicyName,
+		Retries:          rep.Retries,
+		Timeouts:         rep.Timeouts,
+		DegradedReads:    rep.DegradedReads,
+		FailedOverBlocks: rep.FailedOverBlocks,
+	}, nil
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.status(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, jobResponse{JobID: j.id, State: j.state, Report: j.report, Error: j.errMsg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":           "ok",
+		"version":          version.Version,
+		"uptime_s":         int64(time.Since(s.start).Seconds()),
+		"queue_depth":      s.jobs.depth(),
+		"layouts_resident": s.cache.resident(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.writeExposition(w)
+}

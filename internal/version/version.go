@@ -1,0 +1,19 @@
+// Package version carries the single release identity shared by every
+// flopt binary (floptc, flvis, runsim, exptab, floptd). The minor number
+// tracks the PR sequence growing the repository.
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the release identifier of this source tree.
+const Version = "0.5.0"
+
+// String returns the full banner a CLI prints for -version:
+// name, release, and the Go toolchain/platform it was built with.
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", binary, Version,
+		runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

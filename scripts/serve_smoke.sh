@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the floptd daemon: boot it on
+# an ephemeral port, drive one compile → offsets → simulate round trip,
+# check /healthz and /metrics answer sensibly, then SIGTERM it and assert
+# the graceful-drain lines appear. Exits non-zero on any failure.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/floptd" ./cmd/floptd
+
+addr=127.0.0.1:18472
+"$workdir/floptd" -addr "$addr" -workers 2 -queue 16 >"$workdir/out.log" 2>"$workdir/err.log" &
+pid=$!
+
+base="http://$addr"
+for i in $(seq 1 50); do
+	if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+	if ! kill -0 "$pid" 2>/dev/null; then
+		echo "serve_smoke: daemon died during startup" >&2
+		cat "$workdir/err.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+
+fail() { echo "serve_smoke: $1" >&2; exit 1; }
+
+# Compile a built-in workload; re-compiling must hit the cache.
+comp=$(curl -sf -X POST "$base/v1/compile" -d '{"workload":"swim"}')
+id=$(printf '%s' "$comp" | sed -n 's/.*"layout_id":"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || fail "compile returned no layout_id: $comp"
+comp2=$(curl -sf -X POST "$base/v1/compile" -d '{"workload":"swim"}')
+printf '%s' "$comp2" | grep -q '"cached":true' || fail "second compile not cached: $comp2"
+
+# Offsets hot path: a strided run over the first array in the response.
+array=$(printf '%s' "$comp" | sed -n 's/.*"arrays":{"\([^"]*\)".*/\1/p')
+[ -n "$array" ] || fail "compile response names no arrays: $comp"
+offs=$(curl -sf -X POST "$base/v1/layouts/$id/offsets" \
+	-d "{\"array\":\"$array\",\"queries\":[{\"start\":[0,0],\"dir\":[0,1],\"count\":16}]}")
+printf '%s' "$offs" | grep -q '"segs"' || fail "offsets returned no segments: $offs"
+
+# Async simulation: submit, poll until done.
+job=$(curl -sf -X POST "$base/v1/simulate" -d "{\"layout_id\":\"$id\"}")
+jid=$(printf '%s' "$job" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+[ -n "$jid" ] || fail "simulate returned no job_id: $job"
+state=""
+for i in $(seq 1 600); do
+	st=$(curl -sf "$base/v1/jobs/$jid")
+	state=$(printf '%s' "$st" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+	case "$state" in
+	done) break ;;
+	failed) fail "job failed: $st" ;;
+	esac
+	sleep 0.2
+done
+[ "$state" = done ] || fail "job never finished (last state: $state)"
+printf '%s' "$st" | grep -q '"exec_time_us"' || fail "job report missing exec_time_us: $st"
+
+# Observability endpoints.
+curl -sf "$base/healthz" | grep -q '"status":"ok"' || fail "healthz not ok"
+metrics=$(curl -sf "$base/metrics")
+printf '%s' "$metrics" | grep -q '^floptd_compile_builds_total 1$' || fail "metrics: want exactly one compile build"
+printf '%s' "$metrics" | grep -q '^floptd_compile_cache_hits_total' || fail "metrics: cache-hit counter missing"
+printf '%s' "$metrics" | grep -q '^floptd_jobs_completed_total 1$' || fail "metrics: want one completed job"
+
+# Graceful shutdown: SIGTERM, then assert the drain lines were printed.
+kill -TERM "$pid"
+wait "$pid" || fail "daemon exited non-zero after SIGTERM"
+grep -q 'shutdown signal received, draining' "$workdir/out.log" || fail "no drain banner in output"
+grep -q 'drained, exiting' "$workdir/out.log" || fail "daemon did not report a completed drain"
+
+echo "serve_smoke: OK (compile/offsets/simulate/healthz/metrics/drain)"
