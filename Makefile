@@ -47,6 +47,7 @@ test:
 
 race:
 	$(GO) test -race ./...
+	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'Sharded' ./internal/sim
 
 verify: build lint test race
 

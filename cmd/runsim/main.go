@@ -35,6 +35,7 @@ func main() {
 		stCache   = flag.Int("storage-cache", 0, "override storage cache blocks")
 		block     = flag.Int64("block", 0, "override block size in elements")
 		parallelN = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for trace generation (1 = serial)")
+		simW      = flag.Int("sim-workers", runtime.GOMAXPROCS(0), "intra-cell simulation shard count (1 = serial engine; reports are byte-identical at every value)")
 		faults    = flag.Float64("faults", 0, "fault-injection intensity in [0,1] (0 = healthy platform)")
 		seed      = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical runs")
 		metrics   = flag.Bool("metrics", false, "collect and print the per-layer/per-array/per-node metrics breakdown")
@@ -56,11 +57,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: runsim -workload <name> | -src <file> [-scheme s] [-policy p] [-metrics]")
 		os.Exit(2)
 	}
-	// Cap the scheduler so -parallel 1 restores a fully serial process
-	// even for the -src path, whose trace generation sizes itself off
-	// GOMAXPROCS.
-	if *parallelN < runtime.GOMAXPROCS(0) {
-		runtime.GOMAXPROCS(*parallelN)
+	// Cap the scheduler to the wider of the two parallelism axes (trace
+	// generation runs before the simulation, never alongside it): -parallel
+	// 1 -sim-workers 1 restores a fully serial process, while the sharded
+	// engine keeps its CPUs by default (it caps itself by GOMAXPROCS).
+	if budget := max(*parallelN, *simW); budget < runtime.GOMAXPROCS(0) {
+		runtime.GOMAXPROCS(budget)
 	}
 
 	cfg := sim.DefaultConfig()
@@ -89,6 +91,7 @@ func main() {
 	case *workload != "":
 		runner := exp.NewRunner()
 		runner.Parallel = *parallelN
+		runner.SimWorkers = *simW
 		var err error
 		rep, err = runner.RunContext(ctx, *workload, cfg, exp.Scheme(*scheme))
 		if err != nil {
@@ -103,7 +106,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		var opts []flopt.RunOption
+		opts := []flopt.RunOption{flopt.WithSimWorkers(*simW)}
 		if *scheme == "inter" {
 			res, oerr := flopt.Optimize(p, cfg)
 			if oerr != nil {

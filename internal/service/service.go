@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"flopt"
@@ -39,6 +40,11 @@ type Config struct {
 	CacheEntries int
 	// Workers is the simulate worker-pool width.
 	Workers int
+	// SimWorkers shards each simulation job across up to this many
+	// intra-cell workers (reports are byte-identical at every value). 0
+	// auto-sizes so that the two parallelism axes compose without
+	// oversubscription: Workers jobs × SimWorkers shards ≤ GOMAXPROCS.
+	SimWorkers int
 	// QueueDepth bounds the pending-job queue; a full queue answers 429.
 	QueueDepth int
 	// RetainedJobs bounds the finished-job records kept for polling.
@@ -78,17 +84,30 @@ func DefaultServerConfig() Config {
 // the HTTP mux over them. Create with New, serve Handler, and call Drain
 // on shutdown.
 type Server struct {
-	cfg   Config
-	met   *metrics
-	cache *compileCache
-	jobs  *jobPool
-	mux   *http.ServeMux
-	start time.Time
+	cfg        Config
+	simWorkers int
+	met        *metrics
+	cache      *compileCache
+	jobs       *jobPool
+	mux        *http.ServeMux
+	start      time.Time
 }
 
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg, met: newMetrics(), start: time.Now()}
+	s.simWorkers = cfg.SimWorkers
+	if s.simWorkers <= 0 {
+		pool := cfg.Workers
+		if pool < 1 {
+			pool = 1
+		}
+		s.simWorkers = runtime.GOMAXPROCS(0) / pool
+		if s.simWorkers < 1 {
+			s.simWorkers = 1
+		}
+	}
+	s.met.gauge(mSimShards, float64(s.simWorkers))
 	s.cache = newCompileCache(cfg.CacheEntries, s.met, s.build)
 	s.jobs = newJobPool(cfg.Workers, cfg.QueueDepth, cfg.RetainedJobs, cfg.SimTimeout, s.met, s.runJob)
 	s.mux = http.NewServeMux()
@@ -466,7 +485,7 @@ func (s *Server) runJob(ctx context.Context, j *job) (*simReport, error) {
 	if j.req.Policy != "" {
 		cfg.Policy = j.req.Policy
 	}
-	var opts []flopt.RunOption
+	opts := []flopt.RunOption{flopt.WithSimWorkers(s.simWorkers)}
 	if j.req.Optimized == nil || *j.req.Optimized {
 		opts = append(opts, flopt.WithResult(j.ent.Result))
 	}

@@ -1,10 +1,6 @@
 package sim
 
 import (
-	"context"
-	"fmt"
-	"math"
-	"math/bits"
 	"math/rand"
 
 	"flopt/internal/fault"
@@ -81,6 +77,14 @@ type Machine struct {
 	// prefetches counts readahead fills performed.
 	prefetches int64
 
+	// workers is the intra-cell shard count requested via SetWorkers;
+	// values ≤ 1 select the serial engine. The sharded engine additionally
+	// falls back to serial when the run is ineligible (see newShardedRun).
+	workers int
+	// shardStats carries the last sharded run's diagnostics into
+	// finishMetrics; nil after a serial run.
+	shardStats *shardStats
+
 	// faults is the resolved fault schedule; nil on a healthy platform.
 	faults *fault.Schedule
 	// rng drives the transient-error stream. serve runs serially inside
@@ -118,6 +122,14 @@ type Machine struct {
 func (m *Machine) SetFileBlocks(blocks []int64) {
 	m.fileBlocks = append([]int64(nil), blocks...)
 }
+
+// SetWorkers sets the intra-cell shard count for subsequent runs: the
+// simulation itself is partitioned by I/O and storage node across up to n
+// concurrent workers (capped by the platform's node counts). n ≤ 1 — the
+// default — runs the serial engine. Reports are byte-identical at every
+// worker count; see sharded.go for the epoch scheduler and its
+// determinism argument.
+func (m *Machine) SetWorkers(n int) { m.workers = n }
 
 // NewMachine builds the platform. For the "karma" policy, hints must be
 // supplied (see GenerateHints); other policies ignore them.
@@ -213,245 +225,6 @@ func (m *Machine) SetFileNames(names []string) {
 	}
 }
 
-// runHeap is a concrete binary min-heap over the active threads, ordered
-// by (virtual time, thread id). It replaces container/heap on the
-// scheduler hot path: each element packs that pair into a single int64 —
-// time in the high bits, id in the low idBits — so the strict total order
-// becomes one integer comparison, with no interface dispatch and no
-// indirection through the clock slice. Any valid heap under a strict total
-// order yields the same root sequence, so scheduling is bit-identical to
-// the previous container/heap implementation.
-type runHeap struct {
-	keys []int64
-}
-
-func (h *runHeap) down(i int) {
-	n := len(h.keys)
-	for {
-		j := 2*i + 1
-		if j >= n {
-			return
-		}
-		if r := j + 1; r < n && h.keys[r] < h.keys[j] {
-			j = r
-		}
-		if h.keys[j] >= h.keys[i] {
-			return
-		}
-		h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
-		i = j
-	}
-}
-
-func (h *runHeap) init() {
-	for i := len(h.keys)/2 - 1; i >= 0; i-- {
-		h.down(i)
-	}
-}
-
-// fix restores the heap after the root's key increased (times only move
-// forward, so sifting down is sufficient).
-func (h *runHeap) fix() { h.down(0) }
-
-func (h *runHeap) pop() {
-	n := len(h.keys) - 1
-	h.keys[0] = h.keys[n]
-	h.keys = h.keys[:n]
-	h.down(0)
-}
-
-// limit returns the packed (time, id) bound the root thread must stay
-// within to keep its heap position: the smaller of its up-to-two children.
-// With no children the bound is unreachable and the root runs its stream
-// to completion.
-func (h *runHeap) limit() int64 {
-	lim := int64(math.MaxInt64)
-	if len(h.keys) > 1 {
-		lim = h.keys[1]
-		if len(h.keys) > 2 && h.keys[2] < lim {
-			lim = h.keys[2]
-		}
-	}
-	return lim
-}
-
-// Run executes the given nest traces in program order with a barrier
-// between nests and returns the report. The machine's caches keep their
-// contents across nests (and across Run calls; use Reset for a cold
-// start). Internal clocks run in nanoseconds; the report converts to
-// microseconds.
-func (m *Machine) Run(traces []*trace.NestTrace) (*Report, error) {
-	return m.RunContext(context.Background(), traces)
-}
-
-// Eviction-storm detection: every evictionSampleEvery accesses the run
-// loop samples the hierarchy-wide eviction count; a window in which most
-// accesses evicted a block (≥ the threshold) emits an EvEvictionStorm
-// event — the thrashing signature of a working set far beyond capacity.
-const (
-	evictionSampleEvery    = 4096
-	evictionStormThreshold = 3 * evictionSampleEvery / 4
-)
-
-// ctxCheckEvery paces context-cancellation polling in the inner loop (a
-// power of two; the check is a mask test plus one predictable call).
-const ctxCheckEvery = 8192
-
-// RunContext is Run with cooperative cancellation: the inner loop polls
-// ctx every ctxCheckEvery accesses and aborts with ctx's error, leaving
-// the machine's caches and clocks mid-run (Reset before reuse).
-func (m *Machine) RunContext(ctx context.Context, traces []*trace.NestTrace) (*Report, error) {
-	threads := m.cfg.Threads()
-	clock := make([]int64, threads) // ns
-	// pos/sub and the heap's id slice are reused across nests (hot-path
-	// allocation trim: one allocation each per Run, not per nest). pos[t]
-	// indexes thread t's stream entry, sub[t] the block within its run.
-	pos := make([]int, threads)
-	sub := make([]int32, threads)
-	keys := make([]int64, 0, threads)
-	var accesses int64
-
-	// Heap keys pack (clock, thread) into one int64: clock in the high
-	// bits, the thread id in the low idBits. The packing is order-preserving
-	// while clocks stay below maxClock (2^57 ns ≈ 4.5 virtual years at 16
-	// threads); the scheduler errors out rather than let a key wrap.
-	idBits := uint(bits.Len(uint(threads)))
-	idMask := int64(1)<<idBits - 1
-	maxClock := int64(1) << (62 - idBits)
-
-	if m.obsOn {
-		m.obs.Event(obs.Event{Kind: obs.EvRunStart, Node: -1, Thread: -1, File: -1,
-			Detail: fmt.Sprintf("nests=%d threads=%d policy=%s", len(traces), threads, m.mgr.Name())})
-	}
-	for ni, nt := range traces {
-		if len(nt.Streams) != threads {
-			return nil, fmt.Errorf("sim: nest %d trace has %d streams, platform has %d threads",
-				ni, len(nt.Streams), threads)
-		}
-		// Barrier: all threads start the nest at the same time.
-		var barrier int64
-		for _, c := range clock {
-			if c > barrier {
-				barrier = c
-			}
-		}
-		if m.obsOn {
-			m.obs.Event(obs.Event{TimeUS: barrier / 1000, Kind: obs.EvNestStart,
-				Node: -1, Thread: -1, File: -1, Detail: fmt.Sprintf("nest=%d", ni)})
-		}
-		if barrier >= maxClock {
-			return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", barrier)
-		}
-		h := runHeap{keys: keys[:0]}
-		for t := 0; t < threads; t++ {
-			clock[t] = barrier
-			pos[t] = 0
-			sub[t] = 0
-			if len(nt.Streams[t]) > 0 {
-				h.keys = append(h.keys, barrier<<idBits|int64(t))
-			}
-		}
-		h.init()
-		// Scheduler with root batching: the root thread keeps serving
-		// blocks — walking run entries block by block — for as long as its
-		// packed key stays at or below the smaller of its heap children,
-		// which is exactly the condition under which a per-block heap fix
-		// would have left it at the root. Interleaving, stats and clocks are
-		// therefore identical to serving one block per heap operation.
-		for len(h.keys) > 0 {
-			t := int(h.keys[0] & idMask)
-			lim := h.limit()
-			stream := nt.Streams[t]
-			p, s := pos[t], sub[t]
-			c := clock[t]
-			for {
-				a := stream[p]
-				c += m.serve(c, t, a.File, a.Block+int64(s), a.Elems)
-				accesses++
-				if accesses&(ctxCheckEvery-1) == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, fmt.Errorf("sim: run aborted after %d accesses: %w", accesses, err)
-					}
-				}
-				if m.obsOn && accesses&(evictionSampleEvery-1) == 0 {
-					m.sampleEvictions(c)
-				}
-				s++
-				if s > a.Run {
-					s = 0
-					p++
-					if p >= len(stream) {
-						if c >= maxClock {
-							return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", c)
-						}
-						clock[t], pos[t], sub[t] = c, p, s
-						h.pop()
-						break
-					}
-				}
-				if key := c<<idBits | int64(t); key > lim {
-					if c >= maxClock {
-						return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", c)
-					}
-					clock[t], pos[t], sub[t] = c, p, s
-					h.keys[0] = key
-					h.fix()
-					break
-				}
-			}
-		}
-	}
-
-	threadUS := make([]int64, threads)
-	for t, c := range clock {
-		threadUS[t] = c / 1000
-	}
-	rep := &Report{
-		Config:       m.cfg,
-		ThreadTimeUS: threadUS,
-		IO:           m.mgr.IOStats(),
-		Storage:      m.mgr.StorageStats(),
-		Accesses:     accesses,
-		PolicyName:   m.mgr.Name(),
-	}
-	for _, c := range threadUS {
-		if c > rep.ExecTimeUS {
-			rep.ExecTimeUS = c
-		}
-	}
-	for _, d := range m.disks {
-		rep.DiskReads += d.Reads()
-		rep.DiskSeqReads += d.SeqReads()
-		rep.DiskBusyUS += d.BusyNS() / 1000
-	}
-	if dl, ok := m.mgr.(*cache.DemoteLRU); ok {
-		rep.Demotions = dl.Demotions()
-	}
-	rep.Prefetches = m.prefetches
-	rep.Retries, rep.Timeouts = m.retries, m.timeouts
-	rep.DegradedReads, rep.FailedOverBlocks = m.degradedReads, m.failedOver
-	if m.obsOn {
-		m.obs.Event(obs.Event{TimeUS: rep.ExecTimeUS, Kind: obs.EvRunEnd,
-			Node: -1, Thread: -1, File: -1,
-			Detail: fmt.Sprintf("accesses=%d disk_reads=%d", accesses, rep.DiskReads)})
-	}
-	if m.metrics != nil {
-		m.finishMetrics(rep)
-	}
-	return rep, nil
-}
-
-// sampleEvictions runs the eviction-storm detector at virtual time nowNS.
-func (m *Machine) sampleEvictions(nowNS int64) {
-	ev := m.mgr.IOStats().Evictions + m.mgr.StorageStats().Evictions
-	if d := ev - m.lastEvictions; d >= evictionStormThreshold {
-		m.obs.Event(obs.Event{TimeUS: nowNS / 1000, Kind: obs.EvEvictionStorm,
-			Node: -1, Thread: -1, File: -1,
-			Detail: fmt.Sprintf("evictions=%d window=%d", d, evictionSampleEvery)})
-	}
-	m.lastEvictions = ev
-}
-
 // finishMetrics folds the machine's end-of-run state into the metrics
 // collector and snapshots it onto the report.
 func (m *Machine) finishMetrics(rep *Report) {
@@ -486,6 +259,9 @@ func (m *Machine) finishMetrics(rep *Report) {
 		ctr.Add(c.val - ctr.Value())
 	}
 	reg.Gauge("exec_time_us").Set(float64(rep.ExecTimeUS))
+	if m.shardStats != nil {
+		m.shardStats.publish(reg)
+	}
 	rep.Metrics = m.metrics.Snapshot()
 }
 
@@ -497,273 +273,6 @@ func toCacheNodeStats(in []cache.Stats) []obs.CacheNodeStats {
 		out[i] = obs.CacheNodeStats{Accesses: s.Accesses, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions}
 	}
 	return out
-}
-
-// serve routes one block request issued by thread t at the given virtual
-// time (ns) and returns its latency in nanoseconds. Run entries are served
-// block by block from the scheduler loop; striping sends consecutive
-// blocks of a run to different storage nodes, so there is no cross-block
-// cache transaction to batch below this level.
-func (m *Machine) serve(now int64, t int, file int32, block int64, elems int32) int64 {
-	if m.faults != nil {
-		return m.serveFaulty(now, t, file, block, elems)
-	}
-	io := m.ioOf[t]
-	st := m.striper.NodeOf(block)
-	out := m.mgr.Read(io, st, cache.BlockID{File: file, Block: block})
-
-	lat := m.cfg.CPUPerElemNS*int64(elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
-	switch out.Level {
-	case cache.HitIO:
-		// done
-	case cache.HitStorage:
-		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
-	case cache.HitDisk:
-		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
-		arrive := now + lat
-		local := m.striper.LocalIndex(block)
-		done := m.disks[st].Read(arrive, file, local)
-		lat += done - arrive
-		// Server-side multi-stream detection: a demand read continuing
-		// any in-flight sequential stream of this file on this node arms
-		// readahead, as real per-flow readahead does.
-		tab := &m.streams[st]
-		if tab.take(packStreamKey(file, local)) {
-			m.readahead(now, file, block)
-		}
-		tab.insert(packStreamKey(file, local+1))
-	}
-	if out.Demoted {
-		lat += 1000 * m.cfg.NetISUS
-	}
-	if m.obsOn {
-		m.obs.BlockAccess(t, file, obs.Level(out.Level), lat)
-	}
-	return lat
-}
-
-// serveFaulty is serve's degraded-mode twin: outage-aware failover
-// routing to the replica stripe, transient-error retries with capped
-// exponential backoff, and replica reconstruction once the request
-// deadline expires. Every injected delay lands on the calling thread's
-// virtual clock, so fault runs replay bit-identically from the same seed.
-func (m *Machine) serveFaulty(now int64, t int, file int32, block int64, elems int32) int64 {
-	io := m.ioOf[t]
-	st := m.striper.NodeOf(block)
-	// Failover routing: requests owned by an unreachable storage node go
-	// to the node holding the replica stripe (chained declustering). On a
-	// single-node platform there is nowhere to fail over to.
-	down := m.cfg.StorageNodes > 1 && m.faults.NodeDownAt(st, now)
-	if down {
-		st = m.striper.ReplicaOf(block, 1)
-	}
-	out := m.mgr.Read(io, st, cache.BlockID{File: file, Block: block})
-
-	lat := m.cfg.CPUPerElemNS*int64(elems) + 1000*(m.cfg.NetCIUS+m.cfg.CacheSvcUS)
-	if down && out.Level != cache.HitIO {
-		// The redirect only costs (and counts) when the request actually
-		// leaves the I/O node.
-		m.failedOver++
-		lat += 1000 * m.cfg.NetISUS
-		if m.obsOn {
-			m.obs.Event(obs.Event{TimeUS: now / 1000, Kind: obs.EvFailover,
-				Node: st, Thread: t, File: file})
-		}
-	}
-	switch out.Level {
-	case cache.HitIO:
-		// done
-	case cache.HitStorage:
-		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
-	case cache.HitDisk:
-		lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
-		arrive := now + lat
-		lat += m.diskReadFaulty(arrive, st, file, block)
-		local := m.striper.LocalIndex(block)
-		tab := &m.streams[st]
-		if tab.take(packStreamKey(file, local)) {
-			m.readahead(now, file, block)
-		}
-		tab.insert(packStreamKey(file, local+1))
-	}
-	if out.Demoted {
-		lat += 1000 * m.cfg.NetISUS
-	}
-	if m.obsOn {
-		m.obs.BlockAccess(t, file, obs.Level(out.Level), lat)
-	}
-	return lat
-}
-
-// diskReadFaulty performs the device read of a demand miss on storage
-// node st under fault injection — fail-slow scaling plus transient read
-// errors — and returns the latency beyond arrive. A failed attempt pays
-// its full (possibly degraded) service time, then backs off; when the
-// retry budget or the request deadline runs out, the read is served by
-// replica reconstruction instead.
-func (m *Machine) diskReadFaulty(arrive int64, st int, file int32, block int64) int64 {
-	local := m.striper.LocalIndex(block)
-	rate := m.faults.TransientErrorRate
-	deadline := arrive + m.timeoutNS
-	at := arrive
-	backoff := m.backoffNS
-	for attempt := 0; ; attempt++ {
-		done, _ := m.disks[st].ReadScaled(at, file, local, m.faults.SlowFactorAt(st, at))
-		if rate <= 0 || m.rng.Float64() >= rate {
-			return done - arrive
-		}
-		if attempt >= m.maxRetries || done+backoff > deadline {
-			m.timeouts++
-			if m.obsOn {
-				m.obs.Event(obs.Event{TimeUS: done / 1000, Kind: obs.EvTimeout,
-					Node: st, Thread: -1, File: file,
-					Detail: fmt.Sprintf("attempts=%d", attempt+1)})
-			}
-			return m.reconstruct(done, st, file, local, block) - arrive
-		}
-		m.retries++
-		if m.obsOn {
-			m.obs.RetryWait(st, backoff)
-		}
-		at = done + backoff
-		if backoff < 8*m.backoffNS {
-			backoff *= 2
-		}
-	}
-}
-
-// reconstruct serves a read whose primary attempts exhausted their retry
-// budget from the block's other stripe copy — a degraded read. When the
-// platform has no second copy (single storage node, or the request
-// already failed over to the replica and back), the cost of one more
-// positioned read on the surviving copy models parity reconstruction.
-// Reconstruction always succeeds: it is the path of last resort, which is
-// what guarantees the simulator terminates under any schedule.
-func (m *Machine) reconstruct(at int64, st int, file int32, local, block int64) (doneNS int64) {
-	m.degradedReads++
-	rep := m.striper.ReplicaOf(block, 1)
-	if rep == st {
-		rep = m.striper.NodeOf(block)
-	}
-	if m.obsOn {
-		m.obs.Event(obs.Event{TimeUS: at / 1000, Kind: obs.EvReconstruct,
-			Node: rep, Thread: -1, File: file})
-	}
-	done, _ := m.disks[rep].ReadScaled(at, file, local, m.faults.SlowFactorAt(rep, at))
-	return done
-}
-
-// packStreamKey packs one expected stream continuation (file, next local
-// block index) into a single map key. The cache layer's packBlockID guard
-// has already bounds-checked file and the global block index on this
-// request, and the local index never exceeds the global one.
-func packStreamKey(file int32, next int64) uint64 {
-	return uint64(uint32(file))<<streamKeyFileShift | uint64(next)
-}
-
-const streamKeyFileShift = 40
-
-// maxStreams bounds the per-node stream table (ample for one stream per
-// thread per file).
-const maxStreams = 4096
-
-// streamTable is the per-storage-node stream detector: a set of expected
-// continuations plus a FIFO insertion ring for bounded expiry. When the
-// table is full the oldest live stream is dropped — replacing the old
-// clear-the-whole-map expiry, which reallocated the map and forgot every
-// in-flight stream at once. Matched (taken) streams leave tombstones in
-// the ring that are skipped lazily and dropped on compaction.
-type streamTable struct {
-	set  map[uint64]struct{}
-	fifo []uint64
-	head int
-}
-
-// take removes key from the table, reporting whether it was present.
-func (s *streamTable) take(key uint64) bool {
-	if _, ok := s.set[key]; ok {
-		delete(s.set, key)
-		return true
-	}
-	return false
-}
-
-// insert adds key unless already tracked, expiring the oldest live stream
-// once the table is at capacity.
-func (s *streamTable) insert(key uint64) {
-	if _, ok := s.set[key]; ok {
-		return
-	}
-	if len(s.set) >= maxStreams {
-		for {
-			old := s.fifo[s.head]
-			s.head++
-			if _, live := s.set[old]; live {
-				delete(s.set, old)
-				break
-			}
-		}
-	}
-	if len(s.fifo)-s.head >= 2*maxStreams || (s.head > 0 && s.head >= len(s.fifo)/2) {
-		s.compact()
-	}
-	s.set[key] = struct{}{}
-	s.fifo = append(s.fifo, key)
-}
-
-// compact drops tombstones and the consumed ring prefix in place.
-func (s *streamTable) compact() {
-	live := s.fifo[:0]
-	for _, k := range s.fifo[s.head:] {
-		if _, ok := s.set[k]; ok {
-			live = append(live, k)
-		}
-	}
-	s.fifo = live
-	s.head = 0
-}
-
-// reset empties the table, keeping the map and ring storage.
-func (s *streamTable) reset() {
-	clear(s.set)
-	s.fifo = s.fifo[:0]
-	s.head = 0
-}
-
-// readahead pulls the next sequential blocks of the file into the storage
-// caches after a demand disk read (when enabled). Each prefetched block
-// pays its transfer time on the disk that owns its stripe — delaying
-// queued demand reads, which is the realistic cost of speculation — but
-// adds nothing to the requester's latency. Under fault injection,
-// unreachable nodes are skipped (nobody speculates into a dead node) and
-// fail-slow scaling applies.
-func (m *Machine) readahead(now int64, file int32, block int64) {
-	if m.cfg.ReadaheadBlocks <= 0 {
-		return
-	}
-	pf, ok := m.mgr.(cache.Prefetcher)
-	if !ok {
-		return // policy does not accept readahead fills (e.g. KARMA)
-	}
-	for r := 1; r <= m.cfg.ReadaheadBlocks; r++ {
-		next := block + int64(r)
-		if int(file) < len(m.fileBlocks) && next >= m.fileBlocks[file] {
-			break // end of file
-		}
-		st := m.striper.NodeOf(next)
-		if m.faults != nil && m.faults.NodeDownAt(st, now) {
-			continue
-		}
-		blk := cache.BlockID{File: file, Block: next}
-		if pf.PrefetchStorage(st, blk) {
-			scale := 1.0
-			if m.faults != nil {
-				scale = m.faults.SlowFactorAt(st, now)
-			}
-			m.disks[st].ReadScaled(0, file, m.striper.LocalIndex(next), scale)
-			m.prefetches++
-		}
-	}
 }
 
 // Reset clears all caches, disks and counters for a fresh cold run. The

@@ -1,0 +1,642 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+
+	"flopt/internal/obs"
+	"flopt/internal/storage/cache"
+	"flopt/internal/trace"
+)
+
+// This file implements the node-sharded epoch engine: one simulation
+// executed across a worker pool, byte-identical to the serial scheduler
+// at any worker count.
+//
+// The serial engine is exactly "serve block requests in strictly
+// increasing packed (clock, thread) key order" — root batching is an
+// equivalence-preserving optimization of that order. Every request walks
+// the same station sequence: its thread's I/O-node cache, then (on a
+// miss) its block's storage-node cache, disk queue and stream table.
+// State is only shared within a station, so the serial outcome is fully
+// determined by giving each station its operations in global key order;
+// two requests on different nodes may otherwise run in any order.
+//
+// The epoch scheduler exploits the guaranteed minimum per-request latency
+//
+//	epoch = 1000·(NetCIUS + CacheSvcUS) + CPUPerElemNS·minElems
+//
+// (every access charges at least the client→I/O round trip, one cache
+// service and the CPU cost of its elements): a request issued at time c
+// completes no earlier than c+epoch, so once the earliest pending issue
+// time is T, the set of requests issued in [T, T+epoch) is already fully
+// known — at most one per thread, all sitting in the run heap. Each epoch
+// therefore: (1) pops that set in key order, resolving per-request
+// routing — including fault failover, which depends only on the issue
+// time; (2) runs the I/O-cache stage of all requests in parallel, each
+// worker owning disjoint I/O nodes and applying its per-node request list
+// in key order; (3) runs the storage stage the same way over disjoint
+// storage nodes; (4) merges serially in key order: advancing thread
+// clocks, re-inserting heap keys, replaying buffered observer traffic and
+// running the eviction-storm sampler. Per-station operation order thus
+// equals the serial engine's everywhere, which makes every report field —
+// and the metrics snapshot — byte-identical.
+//
+// Two features break the "storage stage touches one node" invariant:
+// readahead (prefetches land on other nodes' caches and disks) and fault
+// injection (the shared transient-error RNG must draw in global key
+// order, and reconstruction reads a replica disk). In those modes the
+// storage stage runs on the merge goroutine — still epoch-structured and
+// key-ordered, so still byte-identical — while the I/O stage keeps its
+// parallelism. This is where the epoch-barrier design earns its keep: the
+// degraded path crosses node boundaries, and correctness comes from the
+// barrier order, not from node ownership.
+//
+// Shard diagnostics (worker count, epochs, imbalance, barrier wait) are
+// published as sim_shard_* gauges in the metrics snapshot. They are the
+// one intentional difference against a serial run's snapshot — execution
+// telemetry, not simulation output — and the barrier-wait gauge is wall
+// clock, hence nondeterministic.
+
+// shardStats collects the sharded engine's diagnostics for the metrics
+// snapshot.
+type shardStats struct {
+	shards      int
+	epochs      int64
+	opsByWorker []int64
+	serialOps   int64
+	// barrierWaitNS is the wall-clock time the merge goroutine spent
+	// waiting on phase barriers (the only nondeterministic metric).
+	barrierWaitNS int64
+}
+
+// publish writes the diagnostics as sim_shard_* gauges. The prefix marks
+// them as execution telemetry excluded from the byte-identity contract.
+func (s *shardStats) publish(reg *obs.Registry) {
+	reg.Gauge("sim_shard_workers").Set(float64(s.shards))
+	reg.Gauge("sim_shard_epochs").Set(float64(s.epochs))
+	reg.Gauge("sim_shard_serial_ops").Set(float64(s.serialOps))
+	reg.Gauge("sim_shard_barrier_wait_us").Set(float64(s.barrierWaitNS) / 1000)
+	var max, total int64
+	for _, n := range s.opsByWorker {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	imbalance := 1.0
+	if total > 0 {
+		imbalance = float64(max) * float64(len(s.opsByWorker)) / float64(total)
+	}
+	reg.Gauge("sim_shard_imbalance").Set(imbalance)
+}
+
+// obsItem is one buffered observer call, recorded by a phase worker and
+// replayed at merge time in global key order.
+type obsItem struct {
+	kind int8 // obsItemDisk, obsItemRetry, obsItemEvent
+	seq  bool
+	node int32
+	ns   int64
+	ev   obs.Event
+}
+
+const (
+	obsItemDisk int8 = iota
+	obsItemRetry
+	obsItemEvent
+)
+
+// shardReq is one in-flight request of the current epoch; reqs[t] is
+// thread t's slot (an epoch holds at most one request per thread).
+type shardReq struct {
+	t     int32
+	file  int32
+	elems int32
+	io    int32
+	st    int32 // effective storage node, after any failover
+	down  bool  // the block's owning node was unreachable at issue time
+	block int64
+	now   int64 // issue time (ns)
+	lat   int64 // accumulated latency (ns)
+	stage cache.StageIO
+	level cache.HitLevel
+	// evDelta counts the cache evictions this request performed across
+	// both stages (storm-detector replay).
+	evDelta int64
+	// rec buffers observer traffic (disk service times, retry waits,
+	// degraded-mode events) for key-ordered replay at merge.
+	rec []obsItem
+}
+
+// shardedRun is the per-run state of the epoch engine.
+type shardedRun struct {
+	m       *Machine
+	ctx     context.Context
+	traces  []*trace.NestTrace
+	smgr    cache.StagedManager
+	workers int
+	// serialB: the storage stage runs on the merge goroutine because it
+	// crosses node boundaries (fault injection or readahead enabled).
+	serialB bool
+
+	threads  int
+	idBits   uint
+	idMask   int64
+	maxClock int64
+	baseNS   int64 // per-access latency floor excluding the CPU charge
+
+	reqs  []shardReq
+	batch []int32   // thread ids of the current epoch, in key order
+	perIO [][]int32 // per-I/O-node request lists, in key order
+	perST [][]int32 // per-storage-node request lists, in key order
+
+	// cur[s] is the request a phase-B worker is serving on storage node s
+	// (the disk service hook's recorder target); serialCur replaces it
+	// when the storage stage is serialized, where reconstruction and
+	// readahead may touch any node's disk.
+	cur       []*shardReq
+	serialCur *shardReq
+
+	// evTotal mirrors the hierarchy-wide eviction count (IOStats +
+	// StorageStats) for the storm detector.
+	evTotal int64
+
+	stats *shardStats
+	pool  *shardPool
+}
+
+// newShardedRun decides whether this run executes on the epoch engine and
+// builds its state; nil selects the serial scheduler. Ineligible: a
+// worker count ≤ 1 after capping by node, thread and CPU counts (on a
+// single-CPU host the barrier pool could only slow the run down, so
+// any requested shard count degrades to serial), a policy without staged
+// reads, or a degenerate config with a zero per-access latency floor (no
+// lookahead window exists).
+func (m *Machine) newShardedRun(ctx context.Context, traces []*trace.NestTrace) *shardedRun {
+	if m.workers <= 1 {
+		return nil
+	}
+	smgr, ok := m.mgr.(cache.StagedManager)
+	if !ok {
+		return nil
+	}
+	threads := m.cfg.Threads()
+	if threads < 2 {
+		return nil
+	}
+	w := m.workers
+	if nodes := max(m.cfg.IONodes, m.cfg.StorageNodes); w > nodes {
+		w = nodes
+	}
+	if w > threads {
+		w = threads
+	}
+	if g := runtime.GOMAXPROCS(0); w > g {
+		w = g
+	}
+	if w < 2 {
+		return nil
+	}
+	base := 1000 * (m.cfg.NetCIUS + m.cfg.CacheSvcUS)
+	for _, nt := range traces {
+		empty := true
+		for _, s := range nt.Streams {
+			if len(s) > 0 {
+				empty = false
+				break
+			}
+		}
+		// Every non-empty nest needs a positive epoch length, or the
+		// epoch loop could not make progress.
+		if !empty && base+m.cfg.CPUPerElemNS*int64(nt.MinElems()) <= 0 {
+			return nil
+		}
+	}
+	idBits := uint(bits.Len(uint(threads)))
+	sr := &shardedRun{
+		m: m, ctx: ctx, traces: traces, smgr: smgr, workers: w,
+		serialB:  m.faults != nil || m.cfg.ReadaheadBlocks > 0,
+		threads:  threads,
+		idBits:   idBits,
+		idMask:   int64(1)<<idBits - 1,
+		maxClock: int64(1) << (62 - idBits),
+		baseNS:   base,
+		reqs:     make([]shardReq, threads),
+		batch:    make([]int32, 0, threads),
+		perIO:    make([][]int32, m.cfg.IONodes),
+		perST:    make([][]int32, m.cfg.StorageNodes),
+		cur:      make([]*shardReq, m.cfg.StorageNodes),
+		stats:    &shardStats{shards: w, opsByWorker: make([]int64, w)},
+	}
+	for t := range sr.reqs {
+		sr.reqs[t].t = int32(t)
+	}
+	return sr
+}
+
+// run executes the traces on the epoch engine. The structure mirrors the
+// serial RunContext: same nest barriers, same heap, same events, same
+// report assembly — only the order in which independent stations advance
+// differs, which the epoch argument shows is unobservable.
+func (sr *shardedRun) run() (*Report, error) {
+	m := sr.m
+	m.shardStats = sr.stats
+	threads := sr.threads
+	clock := make([]int64, threads)
+	pos := make([]int, threads)
+	sub := make([]int32, threads)
+	keys := make([]int64, 0, threads)
+	var accesses int64
+	idBits, idMask, maxClock := sr.idBits, sr.idMask, sr.maxClock
+
+	if m.obsOn {
+		// Disk service hooks record into the current request's buffer for
+		// key-ordered replay; SetObserver restores the serial hooks.
+		sr.installHooks()
+		defer m.SetObserver(m.userObs)
+		sr.evTotal = m.mgr.IOStats().Evictions + m.mgr.StorageStats().Evictions
+	}
+	sr.pool = newShardPool(sr.workers)
+	defer sr.pool.stop()
+
+	if m.obsOn {
+		m.obs.Event(obs.Event{Kind: obs.EvRunStart, Node: -1, Thread: -1, File: -1,
+			Detail: fmt.Sprintf("nests=%d threads=%d policy=%s", len(sr.traces), threads, m.mgr.Name())})
+	}
+	for ni, nt := range sr.traces {
+		if len(nt.Streams) != threads {
+			return nil, fmt.Errorf("sim: nest %d trace has %d streams, platform has %d threads",
+				ni, len(nt.Streams), threads)
+		}
+		var barrier int64
+		for _, c := range clock {
+			if c > barrier {
+				barrier = c
+			}
+		}
+		if m.obsOn {
+			m.obs.Event(obs.Event{TimeUS: barrier / 1000, Kind: obs.EvNestStart,
+				Node: -1, Thread: -1, File: -1, Detail: fmt.Sprintf("nest=%d", ni)})
+		}
+		if barrier >= maxClock {
+			return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", barrier)
+		}
+		// The per-nest epoch length uses the nest's own element floor —
+		// positive for any nest with work (see newShardedRun).
+		epochNS := sr.baseNS + m.cfg.CPUPerElemNS*int64(nt.MinElems())
+		h := runHeap{keys: keys[:0]}
+		for t := 0; t < threads; t++ {
+			clock[t] = barrier
+			pos[t] = 0
+			sub[t] = 0
+			if len(nt.Streams[t]) > 0 {
+				h.keys = append(h.keys, barrier<<idBits|int64(t))
+			}
+		}
+		h.init()
+		for len(h.keys) > 0 {
+			// Bounded-latency cancellation: one poll per epoch, so an
+			// aborted job stops within one epoch of virtual time instead
+			// of one ctxCheckEvery-sized access batch.
+			if cerr := sr.ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("sim: run aborted after %d accesses: %w", accesses, cerr)
+			}
+			sr.stats.epochs++
+
+			// Collect the epoch [T, T+epoch): every pending request with
+			// an issue time below the bound — at most one per thread, all
+			// already in the heap by the lookahead argument.
+			T := h.keys[0] >> idBits
+			end := T + epochNS
+			if end > maxClock {
+				end = maxClock
+			}
+			limKey := end << idBits
+			sr.batch = sr.batch[:0]
+			for i := range sr.perIO {
+				sr.perIO[i] = sr.perIO[i][:0]
+			}
+			if !sr.serialB {
+				for i := range sr.perST {
+					sr.perST[i] = sr.perST[i][:0]
+				}
+			}
+			for len(h.keys) > 0 && h.keys[0] < limKey {
+				key := h.keys[0]
+				h.pop()
+				t := int32(key & idMask)
+				a := nt.Streams[t][pos[t]]
+				r := &sr.reqs[t]
+				r.now = key >> idBits
+				r.file, r.block, r.elems = a.File, a.Block+int64(sub[t]), a.Elems
+				r.io = int32(m.ioOf[t])
+				st := m.striper.NodeOf(r.block)
+				r.down = false
+				if m.faults != nil && m.cfg.StorageNodes > 1 && m.faults.NodeDownAt(st, r.now) {
+					r.down = true
+					st = m.striper.ReplicaOf(r.block, 1)
+				}
+				r.st = int32(st)
+				r.lat = m.cfg.CPUPerElemNS*int64(r.elems) + sr.baseNS
+				r.evDelta = 0
+				sr.batch = append(sr.batch, t)
+				sr.perIO[r.io] = append(sr.perIO[r.io], t)
+				if !sr.serialB {
+					sr.perST[st] = append(sr.perST[st], t)
+				}
+			}
+
+			// Phase A: the I/O-cache stage; workers own disjoint I/O nodes.
+			sr.pool.run(sr.ioPhase)
+			// Phase B: the storage stage; workers own disjoint storage
+			// nodes, unless faults or readahead cross them.
+			if sr.serialB {
+				sr.serialStorage()
+			} else {
+				sr.pool.run(sr.stPhase)
+			}
+
+			// Merge in key order: clocks, heap, counters, observer replay.
+			for _, t := range sr.batch {
+				r := &sr.reqs[t]
+				c := r.now + r.lat
+				accesses++
+				if m.obsOn {
+					for i := range r.rec {
+						it := &r.rec[i]
+						switch it.kind {
+						case obsItemDisk:
+							m.obs.DiskService(int(it.node), it.ns, it.seq)
+						case obsItemRetry:
+							m.obs.RetryWait(int(it.node), it.ns)
+						default:
+							m.obs.Event(it.ev)
+						}
+					}
+					r.rec = r.rec[:0]
+					m.obs.BlockAccess(int(t), r.file, obs.Level(r.level), r.lat)
+					sr.evTotal += r.evDelta
+					if accesses&(evictionSampleEvery-1) == 0 {
+						if d := sr.evTotal - m.lastEvictions; d >= evictionStormThreshold {
+							m.obs.Event(obs.Event{TimeUS: c / 1000, Kind: obs.EvEvictionStorm,
+								Node: -1, Thread: -1, File: -1,
+								Detail: fmt.Sprintf("evictions=%d window=%d", d, evictionSampleEvery)})
+						}
+						m.lastEvictions = sr.evTotal
+					}
+				}
+				if c >= maxClock {
+					return nil, fmt.Errorf("sim: virtual clock %d ns overflows the scheduler key space", c)
+				}
+				s := sub[t] + 1
+				p := pos[t]
+				if s > nt.Streams[t][p].Run {
+					s = 0
+					p++
+				}
+				clock[t], pos[t], sub[t] = c, p, s
+				if p < len(nt.Streams[t]) {
+					h.push(c<<idBits | int64(t))
+				}
+			}
+		}
+	}
+	sr.stats.barrierWaitNS = sr.pool.waitNS
+	return m.buildReport(clock, accesses), nil
+}
+
+// ioPhase runs the I/O-cache stage of the current epoch for the I/O
+// nodes owned by worker w, each node's requests in key order.
+func (sr *shardedRun) ioPhase(w int) {
+	for i := w; i < len(sr.perIO); i += sr.workers {
+		for _, t := range sr.perIO[i] {
+			r := &sr.reqs[t]
+			r.stage = sr.smgr.ReadIO(int(r.io), int(r.st), cache.BlockID{File: r.file, Block: r.block})
+			r.evDelta += r.stage.Evictions
+			if r.stage.HitIO {
+				r.level = cache.HitIO
+			}
+			sr.stats.opsByWorker[w]++
+		}
+	}
+}
+
+// stPhase runs the storage stage for the storage nodes owned by worker w
+// (healthy, readahead-off mode: every touched station belongs to node s).
+func (sr *shardedRun) stPhase(w int) {
+	for s := w; s < len(sr.perST); s += sr.workers {
+		for _, t := range sr.perST[s] {
+			r := &sr.reqs[t]
+			if r.stage.HitIO {
+				continue
+			}
+			sr.cur[s] = r
+			r.evDelta += sr.storageStage(r)
+			sr.stats.opsByWorker[w]++
+		}
+	}
+}
+
+// serialStorage runs the storage stage of the whole epoch on the merge
+// goroutine in key order — the fault/readahead mode, where a request may
+// touch other nodes' disks and caches and the transient-error RNG must
+// draw in global order. Observer calls made inside the stage (failover,
+// timeout, reconstruct events, retry waits) are buffered per request.
+func (sr *shardedRun) serialStorage() {
+	m := sr.m
+	var saved obs.Observer
+	if m.obsOn {
+		saved = m.obs
+		m.obs = shardRecorder{sr}
+	}
+	for _, t := range sr.batch {
+		r := &sr.reqs[t]
+		if r.stage.HitIO {
+			continue
+		}
+		sr.serialCur = r
+		if m.obsOn {
+			// The stats delta also captures prefetch-insert evictions,
+			// which the stage result alone cannot see.
+			before := m.mgr.StorageStats().Evictions
+			sr.storageStage(r)
+			r.evDelta += m.mgr.StorageStats().Evictions - before
+		} else {
+			sr.storageStage(r)
+		}
+		sr.stats.serialOps++
+	}
+	sr.serialCur = nil
+	if m.obsOn {
+		m.obs = saved
+	}
+}
+
+// storageStage performs the storage half of one non-HitIO request —
+// failover accounting, storage-cache lookup, device read, stream
+// detection and readahead — mirroring serve/serveFaulty line for line.
+// It returns the evictions performed by the ReadStorage call.
+func (sr *shardedRun) storageStage(r *shardReq) int64 {
+	m := sr.m
+	st := int(r.st)
+	if r.down {
+		m.failedOver++
+		r.lat += 1000 * m.cfg.NetISUS
+		if m.obsOn {
+			m.obs.Event(obs.Event{TimeUS: r.now / 1000, Kind: obs.EvFailover,
+				Node: st, Thread: int(r.t), File: r.file})
+		}
+	}
+	var ev int64
+	hit := false
+	if !r.stage.SkipStorage {
+		res := sr.smgr.ReadStorage(st, cache.BlockID{File: r.file, Block: r.block}, r.stage)
+		hit, ev = res.Hit, res.Evictions
+	}
+	if hit {
+		r.level = cache.HitStorage
+		r.lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
+	} else {
+		r.level = cache.HitDisk
+		r.lat += 1000 * (m.cfg.NetISUS + m.cfg.CacheSvcUS)
+		arrive := r.now + r.lat
+		local := m.striper.LocalIndex(r.block)
+		if m.faults != nil {
+			r.lat += m.diskReadFaulty(arrive, st, r.file, r.block)
+		} else {
+			done := m.disks[st].Read(arrive, r.file, local)
+			r.lat += done - arrive
+		}
+		tab := &m.streams[st]
+		if tab.take(packStreamKey(r.file, local)) {
+			m.readahead(r.now, r.file, r.block)
+		}
+		tab.insert(packStreamKey(r.file, local+1))
+	}
+	if r.stage.Demoted {
+		r.lat += 1000 * m.cfg.NetISUS
+	}
+	return ev
+}
+
+// installHooks redirects each disk's service hook into the current
+// request's observer buffer.
+func (sr *shardedRun) installHooks() {
+	for i, d := range sr.m.disks {
+		node := i
+		d.SetServiceHook(func(svc int64, seq bool) {
+			r := sr.cur[node]
+			if sr.serialB {
+				r = sr.serialCur
+			}
+			r.rec = append(r.rec, obsItem{kind: obsItemDisk, node: int32(node), ns: svc, seq: seq})
+		})
+	}
+}
+
+// shardRecorder is the observer installed during a serialized storage
+// phase: degraded-mode events and retry waits land in the current
+// request's buffer for key-ordered replay at merge. BlockAccess and
+// DiskService never arrive here (the former is only emitted at merge,
+// the latter goes through the disk hooks).
+type shardRecorder struct{ sr *shardedRun }
+
+func (shardRecorder) BlockAccess(int, int32, obs.Level, int64) {}
+func (shardRecorder) DiskService(int, int64, bool)             {}
+
+func (r shardRecorder) RetryWait(node int, waitNS int64) {
+	c := r.sr.serialCur
+	c.rec = append(c.rec, obsItem{kind: obsItemRetry, node: int32(node), ns: waitNS})
+}
+
+func (r shardRecorder) Event(e obs.Event) {
+	c := r.sr.serialCur
+	c.rec = append(c.rec, obsItem{kind: obsItemEvent, ev: e})
+}
+
+// shardPool is a condvar-based phase-barrier worker pool. The merge
+// goroutine publishes a job by bumping the generation counter under the
+// mutex and broadcasting; workers run the job and count themselves done,
+// the last one waking the merge goroutine. Parking (rather than
+// spinning) keeps the pool well-behaved when GOMAXPROCS exceeds the
+// physical core count and under the race detector's instrumentation;
+// the mutex carries the happens-before edges between the job write, the
+// workers' shard writes and the merge goroutine's reads.
+type shardPool struct {
+	workers int
+	job     func(w int)
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int
+	done    int
+	quit    bool
+	wg      sync.WaitGroup
+	// waitNS accumulates the merge goroutine's wall-clock wait per phase
+	// (diagnostics only).
+	waitNS int64
+}
+
+func newShardPool(n int) *shardPool {
+	p := &shardPool{workers: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.worker(w)
+	}
+	return p
+}
+
+func (p *shardPool) worker(w int) {
+	defer p.wg.Done()
+	last := 0
+	for {
+		p.mu.Lock()
+		for p.gen == last {
+			p.cond.Wait()
+		}
+		last = p.gen
+		quit := p.quit
+		job := p.job
+		p.mu.Unlock()
+		if quit {
+			return
+		}
+		job(w)
+		p.mu.Lock()
+		p.done++
+		if p.done == p.workers {
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+}
+
+// run executes job(w) on every worker and waits for all of them.
+func (p *shardPool) run(job func(int)) {
+	start := time.Now()
+	p.mu.Lock()
+	p.job = job
+	p.done = 0
+	p.gen++
+	p.cond.Broadcast()
+	for p.done < p.workers {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	p.waitNS += time.Since(start).Nanoseconds()
+}
+
+// stop releases the workers and waits for them to exit.
+func (p *shardPool) stop() {
+	p.mu.Lock()
+	p.quit = true
+	p.gen++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"flopt/internal/obs"
+	"flopt/internal/storage/cache"
+	"flopt/internal/trace"
+)
+
+// shardWork is the identity-test workload: two nests over two arrays with
+// a column scan (cache-hostile, heavy disk traffic) followed by a row
+// scan (sequential runs, stream-table and readahead traffic), so every
+// station of the engine — both cache levels, the disks, the stream
+// detectors — sees sustained load.
+const shardWork = `
+array A[64][64];
+array B[64][64];
+parallel(i) for i = 0 to 63 { for j = 0 to 63 { read A[j][i]; read B[i][j]; } }
+parallel(j) for j = 0 to 63 { for i = 0 to 63 { read A[j][i]; } }
+`
+
+// forceMultiCPU lifts GOMAXPROCS to 4 for the duration of the test so
+// the sharded engine engages even on single-CPU CI hosts (newShardedRun
+// caps the worker count by GOMAXPROCS and falls back to serial below 2).
+func forceMultiCPU(t *testing.T) {
+	t.Helper()
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	}
+}
+
+// runShardCase simulates the traces cold on a fresh machine with the
+// given shard count, mirroring the full flopt.Run wiring (file blocks,
+// file names, KARMA hints, metrics).
+func runShardCase(t *testing.T, cfg Config, ft *trace.FileTable, traces []*trace.NestTrace, workers int) *Report {
+	t.Helper()
+	var hints []cache.RangeHint
+	if cfg.Policy == "karma" {
+		hints = GenerateHints(cfg, ft, traces)
+	}
+	m, err := NewMachine(cfg, hints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileBlocks := make([]int64, len(ft.Names))
+	for f := range fileBlocks {
+		fileBlocks[f] = ft.Blocks(int32(f), cfg.BlockElems)
+	}
+	m.SetFileBlocks(fileBlocks)
+	m.SetFileNames(ft.Names)
+	m.SetWorkers(workers)
+	rep, err := m.Run(traces)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return rep
+}
+
+// stripShardGauges removes the sim_shard_* diagnostics from a report's
+// metric snapshot — the one documented exclusion from the byte-identity
+// contract (DESIGN.md §13): they describe the execution, not the
+// simulation, and the barrier-wait gauge is wall-clock.
+func stripShardGauges(rep *Report) {
+	if rep.Metrics == nil {
+		return
+	}
+	for k := range rep.Metrics.Gauges {
+		if strings.HasPrefix(k, "sim_shard_") {
+			delete(rep.Metrics.Gauges, k)
+		}
+	}
+}
+
+// TestShardedSimulationIdentical pins the tentpole contract: for every
+// policy, fault seed and readahead mode, the sharded engine's report —
+// including the full metrics snapshot — is byte-identical to the serial
+// engine's at shard counts 1, 2, 4 and 8.
+func TestShardedSimulationIdentical(t *testing.T) {
+	forceMultiCPU(t)
+	variants := []struct {
+		name      string
+		faults    float64
+		seed      int64
+		readahead int
+	}{
+		{name: "healthy"},
+		{name: "faults-seed42", faults: 0.6, seed: 42},
+		{name: "faults-seed7", faults: 0.35, seed: 7},
+		{name: "readahead", readahead: 2},
+	}
+	for _, policy := range cache.Names() {
+		for _, v := range variants {
+			t.Run(policy+"/"+v.name, func(t *testing.T) {
+				cfg := smallConfig()
+				cfg.Policy = policy
+				cfg.FaultIntensity, cfg.FaultSeed = v.faults, v.seed
+				cfg.ReadaheadBlocks = v.readahead
+				cfg.Metrics = true
+				ft, traces := buildTraces(t, shardWork, cfg, false)
+
+				serial := runShardCase(t, cfg, ft, traces, 0)
+				if serial.DiskReads == 0 {
+					t.Fatal("workload produced no disk traffic; test is vacuous")
+				}
+				serialJSON, err := json.Marshal(serial.Metrics)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 4, 8} {
+					sharded := runShardCase(t, cfg, ft, traces, workers)
+					if workers > 1 && sharded.Metrics.Gauges["sim_shard_workers"] == 0 {
+						t.Errorf("workers=%d: sharded engine did not engage", workers)
+					}
+					stripShardGauges(sharded)
+					if !reflect.DeepEqual(serial, sharded) {
+						t.Errorf("workers=%d: report differs from serial\nserial:  %+v\nsharded: %+v",
+							workers, serial, sharded)
+					}
+					gotJSON, err := json.Marshal(sharded.Metrics)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(gotJSON) != string(serialJSON) {
+						t.Errorf("workers=%d: metrics JSONL differs from serial", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedKarmaHintsIdentical pins that the KARMA hint generation the
+// sharded path runs on is the same as the serial path's (hints derive
+// from the traces, which are engine-independent) and that KARMA reports
+// stay identical across shard counts when hints are supplied.
+func TestShardedKarmaHintsIdentical(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Policy = "karma"
+	ft, traces := buildTraces(t, shardWork, cfg, false)
+	h1 := GenerateHints(cfg, ft, traces)
+	h2 := GenerateHints(cfg, ft, traces)
+	if !reflect.DeepEqual(h1, h2) {
+		t.Fatal("KARMA hint generation is nondeterministic")
+	}
+}
+
+// TestShardedFallbackSerial pins the fallback conditions: worker counts
+// ≤ 1 and single-thread platforms must run the serial engine (no
+// sim_shard_* gauges in the snapshot).
+func TestShardedFallbackSerial(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Metrics = true
+	ft, traces := buildTraces(t, colScan, cfg, false)
+	rep := runShardCase(t, cfg, ft, traces, 1)
+	for k := range rep.Metrics.Gauges {
+		if strings.HasPrefix(k, "sim_shard_") {
+			t.Errorf("serial run published shard gauge %s", k)
+		}
+	}
+}
+
+// countdownCtx reports itself canceled starting from the (after+1)-th
+// Err poll, counting how often the engine checks.
+type countdownCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// countingObserver counts BlockAccess deliveries (= merged accesses).
+type countingObserver struct{ n int64 }
+
+func (c *countingObserver) BlockAccess(int, int32, obs.Level, int64) { c.n++ }
+func (c *countingObserver) DiskService(int, int64, bool)             {}
+func (c *countingObserver) RetryWait(int, int64)                     {}
+func (c *countingObserver) Event(obs.Event)                          {}
+
+// TestShardedAbortWithinEpoch pins the satellite's abort-latency bound:
+// the sharded engine polls ctx once per epoch, and an epoch serves at
+// most one access per thread, so a cancellation delivered on the N-th
+// poll aborts after at most (N-1) epochs ≈ (N-1)·threads accesses —
+// independent of the trace length.
+func TestShardedAbortWithinEpoch(t *testing.T) {
+	forceMultiCPU(t)
+	cfg := smallConfig()
+	ft, traces := buildTraces(t, shardWork, cfg, false)
+	if total := traces[0].TotalAccesses(); total < 1000 {
+		t.Fatalf("trace too short (%d accesses) to distinguish epoch-bounded abort", total)
+	}
+	m, err := NewMachine(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileBlocks := make([]int64, len(ft.Names))
+	for f := range fileBlocks {
+		fileBlocks[f] = ft.Blocks(int32(f), cfg.BlockElems)
+	}
+	m.SetFileBlocks(fileBlocks)
+	var obsCount countingObserver
+	m.SetObserver(&obsCount)
+	m.SetWorkers(4)
+
+	const allowedPolls = 5
+	ctx := &countdownCtx{Context: context.Background(), after: allowedPolls}
+	_, err = m.RunContext(ctx, traces)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	threads := int64(cfg.Threads())
+	if limit := allowedPolls * threads; obsCount.n > limit {
+		t.Errorf("run served %d accesses after cancellation budget; epoch bound allows ≤ %d",
+			obsCount.n, limit)
+	}
+	if obsCount.n == 0 {
+		t.Error("run aborted before serving anything; poll pacing is broken")
+	}
+}

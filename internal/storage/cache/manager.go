@@ -163,14 +163,24 @@ type DemoteLRU struct {
 	// demoteTo routes an eviction from an I/O cache to the storage cache
 	// of the current request path.
 	pendingStorage int
-	demotions      int64
 	lastDemoted    bool
+	// Staged-read victim capture, one slot per I/O cache: while
+	// capture[i] is set, cache i's eviction callback records the victim
+	// here instead of inserting it into a storage cache, so the staged
+	// I/O stage never touches another shard's state (see ReadIO).
+	capture   []bool
+	hasVictim []bool
+	victim    []BlockID
 }
 
 // NewDemoteLRU builds the DEMOTE policy with the given cache counts and
 // capacities.
 func NewDemoteLRU(nIO, nStorage, capIO, capStorage int) *DemoteLRU {
-	m := &DemoteLRU{}
+	m := &DemoteLRU{
+		capture:   make([]bool, nIO),
+		hasVictim: make([]bool, nIO),
+		victim:    make([]BlockID, nIO),
+	}
 	for i := 0; i < nIO; i++ {
 		c := NewLRU(capIO)
 		m.io = append(m.io, c)
@@ -178,14 +188,18 @@ func NewDemoteLRU(nIO, nStorage, capIO, capStorage int) *DemoteLRU {
 	for i := 0; i < nStorage; i++ {
 		m.st = append(m.st, NewLRU(capStorage))
 	}
-	for _, c := range m.io {
+	for i, c := range m.io {
+		i := i
 		c.SetEvictCallback(func(b BlockID) {
+			if m.capture[i] {
+				m.hasVictim[i], m.victim[i] = true, b
+				return
+			}
 			// The victim travels down to the storage cache handling the
 			// current request path (an approximation of the original
 			// client→array demotion: victims follow the open channel).
 			m.st[m.pendingStorage].Insert(b)
 			m.st[m.pendingStorage].stats.Demotions++
-			m.demotions++
 			m.lastDemoted = true
 		})
 	}
@@ -233,8 +247,17 @@ func (m *DemoteLRU) IONodeStats() []Stats { return perNode(m.io) }
 // StorageNodeStats implements NodeStatsReporter.
 func (m *DemoteLRU) StorageNodeStats() []Stats { return perNode(m.st) }
 
-// Demotions returns the total number of demotion transfers.
-func (m *DemoteLRU) Demotions() int64 { return m.demotions }
+// Demotions returns the total number of demotion transfers, summed from
+// the per-storage-cache counters (every demotion lands in exactly one
+// storage cache, so the sum equals the old shared counter — and unlike a
+// shared counter it needs no synchronization under staged reads).
+func (m *DemoteLRU) Demotions() int64 {
+	var n int64
+	for _, c := range m.st {
+		n += c.stats.Demotions
+	}
+	return n
+}
 
 // Reset implements Manager.
 func (m *DemoteLRU) Reset() {
@@ -244,7 +267,6 @@ func (m *DemoteLRU) Reset() {
 	for _, c := range m.st {
 		c.Reset()
 	}
-	m.demotions = 0
 }
 
 var (

@@ -1,0 +1,178 @@
+package cache
+
+// This file splits Manager.Read into its two per-level halves so the
+// simulator's sharded engine can run them on different workers: the I/O
+// stage touches only the caches of one I/O node, the storage stage only
+// the caches of one storage node. The contract is exact equivalence: for
+// any request, ReadIO followed by ReadStorage (when the I/O stage neither
+// hit nor bypassed the storage cache) performs the same operations on the
+// same caches in the same order as one Read call, so a schedule that
+// drives every cache in the same per-cache operation order as the serial
+// engine reproduces its state and statistics bit for bit.
+
+// StageIO is the I/O-node stage result of a staged read.
+type StageIO struct {
+	// HitIO: the request was served at the I/O cache; the storage stage
+	// is skipped entirely.
+	HitIO bool
+	// SkipStorage: the block's range is placed at the I/O level (KARMA's
+	// exclusive placement), so the miss bypasses the storage cache and
+	// goes straight to the device.
+	SkipStorage bool
+	// Demoted/Victim: the I/O-level insertion evicted a victim that must
+	// be demoted into the storage cache on the request path (DEMOTE-LRU).
+	// The storage stage applies the demotion before its own lookup,
+	// matching the serial eviction-callback order.
+	Demoted bool
+	Victim  BlockID
+	// Route carries policy-private routing from the I/O stage to the
+	// storage stage (KARMA's hint-range index; -1 = residual partition).
+	Route int
+	// Evictions counts capacity evictions this stage performed, so the
+	// sharded engine can replay the eviction-storm detector exactly.
+	Evictions int64
+}
+
+// StageStorage is the storage-node stage result of a staged read.
+type StageStorage struct {
+	// Hit: the storage cache served the block (HitStorage); otherwise the
+	// request goes to the device (HitDisk).
+	Hit bool
+	// Evictions counts capacity evictions this stage performed, including
+	// any demotion insert.
+	Evictions int64
+}
+
+// StagedManager is implemented by policies whose Read decomposes into
+// node-local stages. All built-in policies implement it. The staged
+// methods may be called concurrently as long as no two concurrent ReadIO
+// calls share an I/O node and no two concurrent ReadStorage calls share a
+// storage node — the partition the sharded engine maintains.
+type StagedManager interface {
+	Manager
+	// ReadIO performs the I/O-cache half of Read(io, st, b). st is the
+	// effective storage node of the request path (after any failover);
+	// policies with static placement use it to decide routing only — they
+	// must not touch storage-node state.
+	ReadIO(io, st int, b BlockID) StageIO
+	// ReadStorage performs the storage-cache half, given the I/O stage's
+	// result. Never called when s.HitIO or s.SkipStorage.
+	ReadStorage(st int, b BlockID, s StageIO) StageStorage
+}
+
+// ---- InclusiveLRU ----
+
+// ReadIO implements StagedManager.
+func (m *InclusiveLRU) ReadIO(io, st int, b BlockID) StageIO {
+	c := m.io[io]
+	ev := c.stats.Evictions
+	hit := c.Access(b)
+	return StageIO{HitIO: hit, Evictions: c.stats.Evictions - ev}
+}
+
+// ReadStorage implements StagedManager.
+func (m *InclusiveLRU) ReadStorage(st int, b BlockID, s StageIO) StageStorage {
+	c := m.st[st]
+	ev := c.stats.Evictions
+	hit := c.Access(b)
+	return StageStorage{Hit: hit, Evictions: c.stats.Evictions - ev}
+}
+
+// ---- DemoteLRU ----
+
+// ReadIO implements StagedManager. The I/O cache's eviction callback runs
+// in capture mode: instead of inserting the victim into a storage cache
+// (which belongs to another worker's shard), it is recorded in the
+// per-I/O-node slot and carried to the storage stage in the StageIO.
+func (m *DemoteLRU) ReadIO(io, st int, b BlockID) StageIO {
+	c := m.io[io]
+	ev := c.stats.Evictions
+	m.capture[io], m.hasVictim[io] = true, false
+	hit := c.Access(b)
+	m.capture[io] = false
+	s := StageIO{HitIO: hit, Evictions: c.stats.Evictions - ev}
+	if m.hasVictim[io] {
+		s.Demoted, s.Victim = true, m.victim[io]
+	}
+	return s
+}
+
+// ReadStorage implements StagedManager: the demotion insert lands before
+// the probe, exactly as the serial eviction callback fires before
+// Read's storage lookup — the victim can evict the probed block itself,
+// and that order is part of the policy's observable behavior.
+func (m *DemoteLRU) ReadStorage(st int, b BlockID, s StageIO) StageStorage {
+	c := m.st[st]
+	ev := c.stats.Evictions
+	if s.Demoted {
+		c.Insert(s.Victim)
+		c.stats.Demotions++
+	}
+	hit := c.Probe(b)
+	if hit {
+		c.Remove(b) // exclusive: reading up removes the lower copy
+	}
+	return StageStorage{Hit: hit, Evictions: c.stats.Evictions - ev}
+}
+
+// ---- KARMA ----
+
+// ReadIO implements StagedManager. Placement is static, so the stage can
+// decide from read-only allocation state whether the storage level will
+// be involved at all: ranges placed at this I/O cache bypass it
+// (SkipStorage), ranges placed at storage cache st route to their
+// partition (Route ≥ 0, no I/O-level state touched — matching serial
+// Read, which consults the residual I/O partition only for unplaced
+// traffic), and everything else flows through the residual partitions.
+func (k *KARMA) ReadIO(io, st int, b BlockID) StageIO {
+	if r := k.rangeOf(b); r >= 0 {
+		if p, ok := k.partIO[io][r]; ok {
+			ev := p.stats.Evictions
+			hit := p.Access(b)
+			return StageIO{HitIO: hit, SkipStorage: true, Route: r, Evictions: p.stats.Evictions - ev}
+		}
+		if _, ok := k.partST[st][r]; ok {
+			return StageIO{Route: r}
+		}
+	}
+	c := k.streamIO[io]
+	ev := c.stats.Evictions
+	hit := c.Access(b)
+	return StageIO{HitIO: hit, Route: -1, Evictions: c.stats.Evictions - ev}
+}
+
+// ReadStorage implements StagedManager.
+func (k *KARMA) ReadStorage(st int, b BlockID, s StageIO) StageStorage {
+	c := k.streamST[st]
+	if s.Route >= 0 {
+		c = k.partST[st][s.Route] // present: ReadIO routed here
+	}
+	ev := c.stats.Evictions
+	hit := c.Access(b)
+	return StageStorage{Hit: hit, Evictions: c.stats.Evictions - ev}
+}
+
+// ---- InclusiveMQ ----
+
+// ReadIO implements StagedManager.
+func (m *InclusiveMQ) ReadIO(io, st int, b BlockID) StageIO {
+	c := m.io[io]
+	ev := c.stats.Evictions
+	hit := c.Access(b)
+	return StageIO{HitIO: hit, Evictions: c.stats.Evictions - ev}
+}
+
+// ReadStorage implements StagedManager.
+func (m *InclusiveMQ) ReadStorage(st int, b BlockID, s StageIO) StageStorage {
+	c := m.st[st]
+	ev := c.stats.Evictions
+	hit := c.Access(b)
+	return StageStorage{Hit: hit, Evictions: c.stats.Evictions - ev}
+}
+
+var (
+	_ StagedManager = (*InclusiveLRU)(nil)
+	_ StagedManager = (*DemoteLRU)(nil)
+	_ StagedManager = (*KARMA)(nil)
+	_ StagedManager = (*InclusiveMQ)(nil)
+)
