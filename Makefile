@@ -11,13 +11,16 @@
 #   make serve-smoke   — boot floptd, drive one compile/offsets/simulate
 #                        round trip, verify /healthz + /metrics and the
 #                        graceful SIGTERM drain
+#   make chaos         — crash-recovery drill: kill -9 floptd under seeded
+#                        fault injection and assert the restarted daemon
+#                        lost zero accepted jobs and zero compiled layouts
 #   make loadtest      — measure the floptd offsets hot path and print the
 #                        RPS / latency-quantile JSON (see BENCH_service.json)
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check deprecations lint test race verify bench bench-harness bench-compare serve-smoke loadtest
+.PHONY: build vet fmt-check deprecations lint test race chaos verify bench bench-harness bench-compare serve-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -49,7 +52,10 @@ race:
 	$(GO) test -race ./...
 	GOMAXPROCS=8 $(GO) test -race -count=1 -run 'Sharded' ./internal/sim
 
-verify: build lint test race
+chaos:
+	./scripts/chaos_smoke.sh
+
+verify: build lint test race chaos
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .

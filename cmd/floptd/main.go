@@ -8,10 +8,23 @@
 // ^C) drains gracefully: in-flight requests finish, accepted simulate
 // jobs run to completion, then the process exits.
 //
+// With -data-dir set the daemon is crash-safe: compiled layouts and
+// accepted simulate jobs are journaled (snapshot + write-ahead log) and
+// recovered on restart — every accepted job reaches a terminal state and
+// every compiled layout keeps its ID, even across kill -9. Overload
+// degrades gracefully: a circuit breaker sheds /v1/simulate after
+// consecutive job failures while cheap routes keep flowing, declared
+// retries draw from a token budget, Retry-After tracks queue depth, and
+// -request-timeout bounds each request. -chaos enables seeded fault
+// injection (delays, 500s, dropped connections, journal disk faults) for
+// recovery drills; scripts/chaos_smoke.sh runs one end to end.
+//
 // Usage:
 //
 //	floptd                               # serve on :8080
 //	floptd -addr 127.0.0.1:9090 -workers 4 -queue 128
+//	floptd -data-dir /var/lib/flopt -request-timeout 30s
+//	floptd -data-dir /tmp/drill -chaos 0.2 -chaos-seed 42
 //	floptd -version
 //	floptd -loadgen -target http://127.0.0.1:8080 -duration 10s
 //
@@ -50,6 +63,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		queue        = fs.Int("queue", service.DefaultServerConfig().QueueDepth, "simulate queue depth (full queue answers 429)")
 		cacheEntries = fs.Int("cache", service.DefaultServerConfig().CacheEntries, "compiled-layout LRU capacity")
 		drainWait    = fs.Duration("drain-timeout", 2*time.Minute, "graceful-drain budget after SIGTERM")
+		dataDir      = fs.String("data-dir", "", "durability directory for the layout and job journals; empty keeps all state in memory")
+		reqTimeout   = fs.Duration("request-timeout", service.DefaultServerConfig().RequestTimeout, "per-request deadline (context) and connection read timeout; 0 disables the per-request deadline")
+		chaosIntens  = fs.Float64("chaos", 0, "chaos fault-injection intensity in [0,1]: delayed/erroring/dropped requests and journal disk faults; 0 disables")
+		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos decision stream")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 
 		loadgen     = fs.Bool("loadgen", false, "run as load-generation client instead of serving")
@@ -92,20 +109,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := service.DefaultServerConfig()
 	cfg.Workers, cfg.QueueDepth, cfg.CacheEntries = *workers, *queue, *cacheEntries
 	cfg.SimWorkers = *simWorkers
+	cfg.DataDir = *dataDir
+	cfg.RequestTimeout = *reqTimeout
+	cfg.ChaosIntensity, cfg.ChaosSeed = *chaosIntens, *chaosSeed
 	if cfg.Workers < 1 || cfg.QueueDepth < 1 || cfg.CacheEntries < 1 {
 		fmt.Fprintln(stderr, "floptd: -workers, -queue and -cache must be ≥ 1")
 		return 2
 	}
-	srv := service.New(cfg)
-	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	if *chaosIntens < 0 || *chaosIntens > 1 {
+		fmt.Fprintln(stderr, "floptd: -chaos must be in [0, 1]")
+		return 2
+	}
+	if *reqTimeout < 0 {
+		fmt.Fprintln(stderr, "floptd: -request-timeout must be ≥ 0")
+		return 2
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "floptd:", err)
+		return 1
+	}
+	// Slowloris defense: bound how long a connection may dribble its
+	// headers and body, and how long an idle keep-alive socket is kept.
+	// The per-request handler deadline is the -request-timeout context
+	// plumbed by the service middleware.
+	readTimeout := *reqTimeout
+	if readTimeout <= 0 {
+		readTimeout = 30 * time.Second
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "floptd:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "floptd: %s listening on %s (workers=%d queue=%d cache=%d)\n",
-		version.Version, ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheEntries)
+	fmt.Fprintf(stdout, "floptd: %s listening on %s (workers=%d queue=%d cache=%d data-dir=%q chaos=%g)\n",
+		version.Version, ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, cfg.DataDir, cfg.ChaosIntensity)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -126,6 +171,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := srv.Drain(dctx); err != nil {
 		fmt.Fprintln(stderr, "floptd:", err)
+		return 1
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(stderr, "floptd: journal close:", err)
 		return 1
 	}
 	fmt.Fprintln(stdout, "floptd: drained, exiting")

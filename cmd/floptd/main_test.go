@@ -24,6 +24,9 @@ func TestRunFlagValidation(t *testing.T) {
 		{"zero workers", []string{"-workers", "0"}},
 		{"zero queue", []string{"-queue", "0"}},
 		{"zero cache", []string{"-cache", "0"}},
+		{"negative chaos", []string{"-chaos", "-0.1"}},
+		{"chaos above one", []string{"-chaos", "1.5"}},
+		{"negative request timeout", []string{"-request-timeout", "-1s"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

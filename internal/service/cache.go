@@ -173,3 +173,16 @@ func (cc *compileCache) resident() int {
 	defer cc.mu.Unlock()
 	return len(cc.calls)
 }
+
+// has reports whether id is resident — as a finished entry or an
+// in-flight build. Layout-journal snapshots filter on it, queried live
+// per record: a call slot is registered before its WAL record is
+// appended, so any record a snapshot can see already answers true here,
+// and a journaled layout is never dropped while it is (or is becoming)
+// resident.
+func (cc *compileCache) has(id string) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	_, ok := cc.calls[id]
+	return ok
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Chaos harness: a seed-driven fault-injection layer that makes floptd's
+// failure handling testable on demand. It follows the internal/fault
+// seeding discipline — all randomness flows from one math/rand source
+// derived from a configured seed, so a drill replays the same fault
+// decision sequence for the same request arrival order — and injects
+// four fault classes scaled by one intensity knob in [0, 1]:
+//
+//	delayed requests    held 1–25 ms before the handler runs
+//	erroring requests   answered 500 without reaching the handler
+//	dropped requests    connection aborted mid-request (client sees EOF)
+//	disk-write faults   journal appends fail (wired into the persister)
+//
+// /healthz and /metrics are exempt so a drill can always observe the
+// daemon it is tormenting. Forced restarts — the remaining fault class —
+// are the drill script's job (scripts/chaos_smoke.sh kills -9 and
+// restarts the daemon under this middleware's traffic faults).
+
+// chaos fault-class probabilities at intensity 1.
+const (
+	chaosDropP  = 0.04
+	chaosErrorP = 0.12
+	chaosDelayP = 0.25
+	chaosDiskP  = 0.10
+	// chaosMaxDelay bounds the injected per-request latency.
+	chaosMaxDelay = 25 * time.Millisecond
+)
+
+// chaosAction is one per-request fault decision.
+type chaosAction int
+
+const (
+	chaosNone chaosAction = iota
+	chaosDrop
+	chaosError
+	chaosDelay
+)
+
+// chaos injects deterministic faults into the request and journal paths.
+type chaos struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	intensity float64
+	met       *metrics
+}
+
+// newChaos returns the injector, or nil when intensity ≤ 0 (chaos off).
+func newChaos(seed int64, intensity float64, met *metrics) *chaos {
+	if intensity <= 0 {
+		return nil
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	return &chaos{rng: rand.New(rand.NewSource(seed)), intensity: intensity, met: met}
+}
+
+// decide draws the next request fault from the seeded stream. The action
+// partition mirrors fault.Generate's single-source discipline: one draw
+// per request keeps the decision sequence a pure function of the seed
+// and the request order.
+func (c *chaos) decide() (chaosAction, time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.rng.Float64()
+	switch i := c.intensity; {
+	case u < chaosDropP*i:
+		return chaosDrop, 0
+	case u < (chaosDropP+chaosErrorP)*i:
+		return chaosError, 0
+	case u < (chaosDropP+chaosErrorP+chaosDelayP)*i:
+		d := time.Duration(1+c.rng.Int63n(int64(chaosMaxDelay/time.Millisecond))) * time.Millisecond
+		return chaosDelay, d
+	default:
+		return chaosNone, 0
+	}
+}
+
+// diskFault is the persister's failWrite hook: a seeded coin per journal
+// append, failing chaosDiskP·intensity of them.
+func (c *chaos) diskFault() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() < chaosDiskP*c.intensity {
+		c.met.inc(mChaosDiskFaults)
+		return fmt.Errorf("chaos: injected disk-write fault")
+	}
+	return nil
+}
+
+// middleware applies the per-request fault decision ahead of the router.
+func (c *chaos) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics": // the drill's observation channel stays clear
+			next.ServeHTTP(w, r)
+			return
+		}
+		action, delay := c.decide()
+		switch action {
+		case chaosDrop:
+			c.met.inc(mChaosDrops)
+			panic(http.ErrAbortHandler) // aborts the connection; recoverWare re-panics it
+		case chaosError:
+			c.met.inc(mChaosErrors)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"chaos: injected fault"}`, http.StatusInternalServerError)
+			return
+		case chaosDelay:
+			c.met.inc(mChaosDelays)
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,91 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// errKind is the service's error taxonomy: every failure a handler can
+// produce falls into one of these classes, and each class maps to
+// exactly one HTTP status. Handlers build *svcError values through the
+// constructors below and route them through Server.failErr, so the
+// status mapping lives in one place instead of being re-derived per
+// handler.
+type errKind int
+
+const (
+	// kindBadRequest: the request is malformed or semantically invalid;
+	// resubmitting it unchanged will always fail (400).
+	kindBadRequest errKind = iota
+	// kindNotFound: the referenced layout or job does not exist (404).
+	kindNotFound
+	// kindUnprocessable: well-formed but uncompilable — e.g. the
+	// optimizer rejects the program under this platform (422).
+	kindUnprocessable
+	// kindOverload: the service is shedding load (full queue, exhausted
+	// retry budget); retry after the advertised delay (429).
+	kindOverload
+	// kindUnavailable: a transient server-side condition — draining,
+	// open circuit breaker, journal write failure, expired deadline —
+	// that a later identical request may not hit (503).
+	kindUnavailable
+	// kindInternal: a bug (recovered panic, impossible state) (500).
+	kindInternal
+)
+
+// status maps a kind to its HTTP status code.
+func (k errKind) status() int {
+	switch k {
+	case kindBadRequest:
+		return http.StatusBadRequest
+	case kindNotFound:
+		return http.StatusNotFound
+	case kindUnprocessable:
+		return http.StatusUnprocessableEntity
+	case kindOverload:
+		return http.StatusTooManyRequests
+	case kindUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// svcError is a classified service error. RetryAfter > 0 is surfaced as
+// a Retry-After header on the overload and unavailable kinds.
+type svcError struct {
+	kind       errKind
+	retryAfter int // seconds; 0 = no header
+	msg        string
+}
+
+func (e *svcError) Error() string { return e.msg }
+
+// errf builds a classified error.
+func errf(k errKind, format string, args ...any) *svcError {
+	return &svcError{kind: k, msg: fmt.Sprintf(format, args...)}
+}
+
+// overloadf builds a 429 with a Retry-After hint.
+func overloadf(retryAfter int, format string, args ...any) *svcError {
+	return &svcError{kind: kindOverload, retryAfter: retryAfter, msg: fmt.Sprintf(format, args...)}
+}
+
+// unavailablef builds a 503 with a Retry-After hint.
+func unavailablef(retryAfter int, format string, args ...any) *svcError {
+	return &svcError{kind: kindUnavailable, retryAfter: retryAfter, msg: fmt.Sprintf(format, args...)}
+}
+
+// failErr classifies err and writes the mapped HTTP error response.
+// Unclassified errors are internal by definition.
+func (s *Server) failErr(w http.ResponseWriter, err error) {
+	var se *svcError
+	if !errors.As(err, &se) {
+		se = &svcError{kind: kindInternal, msg: err.Error()}
+	}
+	if se.retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(se.retryAfter))
+	}
+	s.fail(w, se.kind.status(), "%s", se.msg)
+}

@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Job states, in lifecycle order. A job is accepted the moment submit
 // returns its ID: from then on it is guaranteed to reach done or failed,
-// even across a graceful drain.
+// even across a graceful drain — and, when a job journal is configured,
+// across a crash (recovery re-enqueues accepted-but-unfinished jobs).
 const (
 	jobQueued  = "queued"
 	jobRunning = "running"
@@ -29,15 +32,31 @@ var (
 // job is one asynchronous simulation. All mutable fields are guarded by
 // the owning pool's mu; the request fields are immutable after submit.
 type job struct {
-	id  string
-	ent *compiled
-	req simulateRequest
+	id       string
+	ent      *compiled
+	layoutID string
+	req      simulateRequest
 
 	state    string
 	report   *simReport
 	errMsg   string
 	queuedAt time.Time
 	doneAt   time.Time
+}
+
+// jobPoolConfig wires a jobPool. journal and onResult are optional
+// hooks: journal persists the accepted/started/completed ledger (its
+// error on the accept record vetoes the submission — accepted must mean
+// durable), onResult feeds job outcomes to the circuit breaker.
+type jobPoolConfig struct {
+	workers    int
+	queueDepth int
+	maxJobs    int
+	timeout    time.Duration
+	met        *metrics
+	run        func(context.Context, *job) (*simReport, error)
+	journal    func(jobRecord) error
+	onResult   func(error)
 }
 
 // jobPool runs simulations on a fixed set of workers fed by a bounded
@@ -53,24 +72,18 @@ type jobPool struct {
 	draining bool
 	running  int
 	seq      uint64
-	met      *metrics
-	run      func(ctx context.Context, j *job) (*simReport, error)
-	timeout  time.Duration
-	maxJobs  int
+	ewmaUS   float64 // job-latency EWMA (queue wait + run), µs
+	cfg      jobPoolConfig
 }
 
-func newJobPool(workers, queueDepth, maxJobs int, timeout time.Duration, met *metrics,
-	run func(context.Context, *job) (*simReport, error)) *jobPool {
+func newJobPool(cfg jobPoolConfig) *jobPool {
 	p := &jobPool{
-		jobs:    map[string]*job{},
-		queue:   make(chan *job, queueDepth),
-		met:     met,
-		run:     run,
-		timeout: timeout,
-		maxJobs: maxJobs,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.queueDepth),
+		cfg:   cfg,
 	}
-	p.wg.Add(workers)
-	for w := 0; w < workers; w++ {
+	p.wg.Add(cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
 		go p.worker()
 	}
 	return p
@@ -78,12 +91,20 @@ func newJobPool(workers, queueDepth, maxJobs int, timeout time.Duration, met *me
 
 // submit accepts a job for asynchronous execution, returning its ID. A
 // full queue returns errQueueFull without registering anything; a
-// draining pool returns errDraining.
+// draining pool returns errDraining; a failed accept-record journal
+// write returns the journal error (the job is NOT accepted — clients
+// must never hold an ID that a crash could lose).
 func (p *jobPool) submit(ent *compiled, req simulateRequest) (string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining {
 		return "", errDraining
+	}
+	// Reserve the queue slot before journaling: submitters serialize on
+	// mu and workers only drain, so space cannot shrink between this
+	// check and the send below.
+	if len(p.queue) == cap(p.queue) {
+		return "", errQueueFull
 	}
 	p.seq++
 	j := &job{
@@ -93,24 +114,65 @@ func (p *jobPool) submit(ent *compiled, req simulateRequest) (string, error) {
 		state:    jobQueued,
 		queuedAt: time.Now(),
 	}
-	select {
-	case p.queue <- j:
-	default:
-		p.seq-- // unused ID; keeps job numbering dense
-		return "", errQueueFull
+	if ent != nil {
+		j.layoutID = ent.ID
 	}
+	if p.cfg.journal != nil {
+		if err := p.cfg.journal(jobRecord{Op: jobOpAccept, ID: j.id, Layout: j.layoutID, Req: &j.req}); err != nil {
+			p.seq-- // unused ID; keeps job numbering dense
+			return "", err
+		}
+	}
+	p.queue <- j
 	p.jobs[j.id] = j
 	p.order = append(p.order, j.id)
 	p.pruneLocked()
-	p.met.gauge(mQueueDepth, float64(len(p.queue)))
+	p.cfg.met.gauge(mQueueDepth, float64(len(p.queue)))
 	return j.id, nil
+}
+
+// restore registers a recovered job record without enqueueing it —
+// terminal jobs from the journal, so their IDs still answer status
+// queries after a restart (reports are not persisted; state and error
+// are).
+func (p *jobPool) restore(j *job) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.jobs[j.id] = j
+	p.order = append(p.order, j.id)
+	p.bumpSeqLocked(j.id)
+	p.pruneLocked()
+}
+
+// resubmit re-enqueues a recovered accepted-but-unfinished job. The send
+// blocks when the recovered backlog exceeds the queue depth — recovery
+// runs before the server accepts traffic, and the workers are already
+// draining, so the backlog clears without deadlock.
+func (p *jobPool) resubmit(j *job) {
+	p.mu.Lock()
+	j.state = jobQueued
+	j.queuedAt = time.Now()
+	p.jobs[j.id] = j
+	p.order = append(p.order, j.id)
+	p.bumpSeqLocked(j.id)
+	p.mu.Unlock()
+	p.queue <- j
+	p.cfg.met.gauge(mQueueDepth, float64(len(p.queue)))
+}
+
+// bumpSeqLocked advances the ID sequence past a recovered job's number
+// so post-restart submissions never collide. Caller holds p.mu.
+func (p *jobPool) bumpSeqLocked(id string) {
+	if n, err := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64); err == nil && n > p.seq {
+		p.seq = n
+	}
 }
 
 // pruneLocked bounds the retained job records: beyond maxJobs, the oldest
 // finished jobs are forgotten (their IDs then 404). Unfinished jobs are
 // always retained. Caller holds p.mu.
 func (p *jobPool) pruneLocked() {
-	excess := len(p.jobs) - p.maxJobs
+	excess := len(p.jobs) - p.cfg.maxJobs
 	if excess <= 0 {
 		return
 	}
@@ -138,6 +200,24 @@ func (p *jobPool) status(id string) (job, bool) {
 	return *j, true
 }
 
+// records rebuilds the compacted job ledger for journal compaction: one
+// accept per retained job, plus a done for each terminal one. Unfinished
+// jobs stay accept-only, so a restart re-runs them.
+func (p *jobPool) records() []jobRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	recs := make([]jobRecord, 0, 2*len(p.order))
+	for _, id := range p.order {
+		j := p.jobs[id]
+		req := j.req
+		recs = append(recs, jobRecord{Op: jobOpAccept, ID: j.id, Layout: j.layoutID, Req: &req})
+		if j.state == jobDone || j.state == jobFailed {
+			recs = append(recs, jobRecord{Op: jobOpDone, ID: j.id, State: j.state, Err: j.errMsg})
+		}
+	}
+	return recs
+}
+
 func (p *jobPool) worker() {
 	defer p.wg.Done()
 	for j := range p.queue {
@@ -146,11 +226,16 @@ func (p *jobPool) worker() {
 		p.running++
 		running := p.running
 		p.mu.Unlock()
-		p.met.gauge(mQueueDepth, float64(len(p.queue)))
-		p.met.gauge(mJobsRunning, float64(running))
+		p.cfg.met.gauge(mQueueDepth, float64(len(p.queue)))
+		p.cfg.met.gauge(mJobsRunning, float64(running))
+		if p.cfg.journal != nil {
+			// Best-effort forensics: a lost start record only blurs
+			// whether a re-run job died queued or mid-flight.
+			p.cfg.journal(jobRecord{Op: jobOpStart, ID: j.id})
+		}
 
-		ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
-		rep, err := p.run(ctx, j)
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.timeout)
+		rep, err := p.cfg.run(ctx, j)
 		cancel()
 
 		p.mu.Lock()
@@ -160,16 +245,31 @@ func (p *jobPool) worker() {
 		} else {
 			j.state, j.report = jobDone, rep
 		}
+		// Latency EWMA over accept→terminal, feeding Retry-After.
+		latUS := float64(j.doneAt.Sub(j.queuedAt).Microseconds())
+		if p.ewmaUS == 0 {
+			p.ewmaUS = latUS
+		} else {
+			p.ewmaUS = 0.7*p.ewmaUS + 0.3*latUS
+		}
 		p.running--
 		running = p.running
 		p.pruneLocked()
 		p.mu.Unlock()
-		if err != nil {
-			p.met.inc(mJobsFailed)
-		} else {
-			p.met.inc(mJobsCompleted)
+		if p.cfg.journal != nil {
+			// A lost done record re-runs the job after a crash; wasted
+			// work, never lost work.
+			p.cfg.journal(jobRecord{Op: jobOpDone, ID: j.id, State: j.state, Err: j.errMsg})
 		}
-		p.met.gauge(mJobsRunning, float64(running))
+		if p.cfg.onResult != nil {
+			p.cfg.onResult(err)
+		}
+		if err != nil {
+			p.cfg.met.inc(mJobsFailed)
+		} else {
+			p.cfg.met.inc(mJobsCompleted)
+		}
+		p.cfg.met.gauge(mJobsRunning, float64(running))
 	}
 }
 
@@ -198,3 +298,27 @@ func (p *jobPool) drain(ctx context.Context) error {
 
 // depth returns the current queue length (healthz).
 func (p *jobPool) depth() int { return len(p.queue) }
+
+// retryAfterSeconds estimates when queue room will exist: the current
+// backlog (queued + running) times the job-latency EWMA, divided across
+// the workers, clamped to [1, 60] s. Replaces the hard-coded constant a
+// 429 used to carry — a deep queue of slow jobs now tells clients to
+// stay away proportionally longer.
+func (p *jobPool) retryAfterSeconds() int {
+	p.mu.Lock()
+	backlog := len(p.queue) + p.running
+	ewma := p.ewmaUS
+	p.mu.Unlock()
+	workers := p.cfg.workers
+	if workers < 1 {
+		workers = 1
+	}
+	secs := int(ewma*float64(backlog)/float64(workers)/1e6 + 0.999)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}

@@ -35,6 +35,27 @@ const (
 	mLayoutsResident  = "layouts_resident"
 	mHTTPRequests     = "http_requests_total"
 	mHTTPErrors       = "http_errors_total"
+
+	// Durability: journal traffic and crash recovery.
+	mJournalRecords   = "journal_records_total"
+	mJournalErrors    = "journal_errors_total"
+	mJournalSnapshots = "journal_snapshots_total"
+	mLayoutsRecovered = "layouts_recovered_total"
+	mJobsRecovered    = "jobs_recovered_total"
+	mRecoverySkipped  = "recovery_skipped_total"
+
+	// Admission control and degradation.
+	mPanics       = "panics_recovered_total"
+	mShedRequests = "shed_requests_total"
+	mRetryShed    = "retry_budget_exhausted_total"
+	mBreakerState = "breaker_state"
+	mBreakerOpens = "breaker_opens_total"
+
+	// Chaos injection.
+	mChaosDelays     = "chaos_delays_total"
+	mChaosErrors     = "chaos_errors_total"
+	mChaosDrops      = "chaos_drops_total"
+	mChaosDiskFaults = "chaos_disk_faults_total"
 )
 
 // latencyBucketsUS are the request-latency buckets of the service's

@@ -1,0 +1,385 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flopt/internal/sim"
+)
+
+// Durability layer: floptd's state — the compiled-layout catalog and the
+// accepted-simulate-job ledger — survives crashes through two journals
+// rooted at Config.DataDir:
+//
+//	layouts.snap  snapshot: one layoutRecord per resident layout (JSONL)
+//	layouts.wal   write-ahead journal of compiles since the snapshot
+//	jobs.wal      job journal: accept / start / done records (JSONL)
+//
+// Compiled layouts are content-addressed (the ID is a hash of source +
+// layout-relevant config), so a layout record needs only the inputs:
+// replay is recompilation, and the recomputed ID cross-checks the
+// recorded one. Jobs follow a classic accepted/started/completed ledger:
+// any accept without a terminal done record is re-enqueued on recovery,
+// which is exactly the "zero accepted-job loss" invariant — a job ID
+// handed to a client always reaches a terminal state, crash or not.
+//
+// Write ordering is what makes the invariants hold: a compile enters the
+// cache only after its record is journaled (journal failure fails the
+// build, so clients are never handed an ID that could vanish), and a
+// simulate submission is journaled before its 202 is written. Records
+// are single write(2) calls of complete JSON lines — a kill -9 can lose
+// at most a torn final line, which replay skips. fsync is deliberately
+// omitted: the drill's crash model is process death, not power loss.
+
+const (
+	layoutSnapFile = "layouts.snap"
+	layoutWALFile  = "layouts.wal"
+	jobWALFile     = "jobs.wal"
+)
+
+// layoutRecord journals one compiled layout by its inputs. Config holds
+// every field the optimizer (and the content hash) consults; replay
+// applies it over the daemon's base platform and recompiles.
+type layoutRecord struct {
+	ID     string        `json:"id"`
+	Source string        `json:"source"`
+	Config *platformJSON `json:"config,omitempty"`
+}
+
+// Job journal ops, in lifecycle order. "start" records are forensic
+// (they distinguish lost-from-queue from lost-mid-run in a post-mortem);
+// recovery keys only on accept-without-done.
+const (
+	jobOpAccept = "accept"
+	jobOpStart  = "start"
+	jobOpDone   = "done"
+)
+
+// jobRecord is one job-journal line.
+type jobRecord struct {
+	Op     string           `json:"op"`
+	ID     string           `json:"id"`
+	Layout string           `json:"layout,omitempty"`
+	Req    *simulateRequest `json:"req,omitempty"`
+	State  string           `json:"state,omitempty"` // done | failed, op=done only
+	Err    string           `json:"err,omitempty"`
+}
+
+// errJournal marks journal write failures (including chaos-injected disk
+// faults); callers map it to kindUnavailable.
+var errJournal = errors.New("service: journal write failed")
+
+// persister owns the journal files. All writes serialize on mu; reads
+// (recovery) happen before the server accepts traffic.
+type persister struct {
+	dir string
+	met *metrics
+
+	// failWrite, when set, is consulted before every append — the chaos
+	// harness injects deterministic disk-write failures through it.
+	failWrite func() error
+
+	mu         sync.Mutex
+	layoutW    *os.File
+	jobW       *os.File
+	walRecords int // layout WAL records since the last snapshot
+	replaying  bool
+	closed     bool
+}
+
+// newPersister opens (creating if needed) the data directory and its
+// journal files for appending.
+func newPersister(dir string, met *metrics) (*persister, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: data dir: %w", err)
+	}
+	p := &persister{dir: dir, met: met}
+	var err error
+	if p.layoutW, err = openAppend(filepath.Join(dir, layoutWALFile)); err != nil {
+		return nil, err
+	}
+	if p.jobW, err = openAppend(filepath.Join(dir, jobWALFile)); err != nil {
+		p.layoutW.Close()
+		return nil, err
+	}
+	p.walRecords = countLines(filepath.Join(dir, layoutWALFile))
+	return p, nil
+}
+
+func openAppend(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal %s: %w", filepath.Base(path), err)
+	}
+	return f, nil
+}
+
+func countLines(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// appendRecord writes one JSON line to f. A complete line lands in a
+// single write(2) call, so concurrent appenders (serialized by mu
+// anyway) and crashes can tear at most the final record.
+func (p *persister) appendRecord(f *os.File, v any) error {
+	if p.failWrite != nil {
+		if err := p.failWrite(); err != nil {
+			p.met.inc(mJournalErrors)
+			return fmt.Errorf("%w: %v", errJournal, err)
+		}
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		p.met.inc(mJournalErrors)
+		return fmt.Errorf("%w: %v", errJournal, err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		p.met.inc(mJournalErrors)
+		return fmt.Errorf("%w: %v", errJournal, err)
+	}
+	p.met.inc(mJournalRecords)
+	return nil
+}
+
+// appendLayout journals one compiled layout. No-ops while replaying
+// (recovery re-runs the same build path that journals live compiles).
+func (p *persister) appendLayout(rec layoutRecord) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.replaying || p.closed {
+		return nil
+	}
+	if err := p.appendRecord(p.layoutW, rec); err != nil {
+		return err
+	}
+	p.walRecords++
+	return nil
+}
+
+// appendJob journals one job-lifecycle record.
+func (p *persister) appendJob(rec jobRecord) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("%w: persister closed", errJournal)
+	}
+	return p.appendRecord(p.jobW, rec)
+}
+
+// setFailWrite swaps the write-failure hook under the journal lock
+// (tests inject targeted failures after construction; New wires the
+// chaos hook before any appender goroutine exists).
+func (p *persister) setFailWrite(f func() error) {
+	p.mu.Lock()
+	p.failWrite = f
+	p.mu.Unlock()
+}
+
+// setReplaying toggles replay mode, during which appendLayout no-ops.
+func (p *persister) setReplaying(on bool) {
+	p.mu.Lock()
+	p.replaying = on
+	p.mu.Unlock()
+}
+
+// walSize returns the layout-WAL record count since the last snapshot
+// (the snapshot trigger).
+func (p *persister) walSize() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.walRecords
+}
+
+// readRecords decodes a JSONL file into out-typed records, skipping a
+// torn (unparseable) final line; a torn line anywhere else is also
+// skipped rather than aborting replay.
+func readJSONL[T any](path string) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var out []T
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec T
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn or corrupt record: skip, keep replaying
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+// loadLayouts returns the journaled layout set: snapshot then WAL,
+// deduplicated by ID with first-occurrence order preserved (order
+// matters: the LRU replays oldest-first so recency survives restarts).
+func (p *persister) loadLayouts() ([]layoutRecord, error) {
+	snap, err := readJSONL[layoutRecord](filepath.Join(p.dir, layoutSnapFile))
+	if err != nil {
+		return nil, err
+	}
+	wal, err := readJSONL[layoutRecord](filepath.Join(p.dir, layoutWALFile))
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(snap)+len(wal))
+	out := make([]layoutRecord, 0, len(snap)+len(wal))
+	for _, rec := range append(snap, wal...) {
+		if rec.ID == "" || seen[rec.ID] {
+			continue
+		}
+		seen[rec.ID] = true
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// loadJobs returns every job-journal record in append order.
+func (p *persister) loadJobs() ([]jobRecord, error) {
+	return readJSONL[jobRecord](filepath.Join(p.dir, jobWALFile))
+}
+
+// snapshotLayouts compacts the layout journal: the current record set,
+// filtered by keep (residency in the compile cache), becomes the new
+// snapshot — written to a temp file and atomically renamed — and the WAL
+// is truncated. On any error the WAL is left untouched, so no record is
+// ever lost to a failed snapshot.
+func (p *persister) snapshotLayouts(keep func(id string) bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	recs, err := p.loadLayouts()
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(p.dir, layoutSnapFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range recs {
+		if keep != nil && !keep(rec.ID) {
+			continue
+		}
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(p.dir, layoutSnapFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := p.layoutW.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := p.layoutW.Seek(0, 0); err != nil {
+		return err
+	}
+	p.walRecords = 0
+	p.met.inc(mJournalSnapshots)
+	return nil
+}
+
+// compactJobs atomically rewrites the job journal to the given record
+// set (the live ledger: an accept per retained job plus a done per
+// terminal one), dropping the full lifecycle history.
+func (p *persister) compactJobs(recs []jobRecord) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	path := filepath.Join(p.dir, jobWALFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Reopen the appender on the new inode; the old one points at the
+	// renamed-over file.
+	p.jobW.Close()
+	p.jobW, err = openAppend(path)
+	return err
+}
+
+// close flushes nothing (writes are unbuffered) and closes the files.
+// Idempotent: the test harness and floptd both close defensively.
+func (p *persister) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	err1 := p.layoutW.Close()
+	err2 := p.jobW.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// platformOverrides captures cfg's layout-relevant fields as a full
+// override set, so applying it over any base platform reproduces the
+// compile-relevant configuration (and therefore the content hash).
+func platformOverrides(cfg sim.Config) *platformJSON {
+	return &platformJSON{
+		ComputeNodes:       cfg.ComputeNodes,
+		IONodes:            cfg.IONodes,
+		StorageNodes:       cfg.StorageNodes,
+		ThreadsPerCompute:  cfg.ThreadsPerCompute,
+		BlockElems:         cfg.BlockElems,
+		IOCacheBlocks:      cfg.IOCacheBlocks,
+		StorageCacheBlocks: cfg.StorageCacheBlocks,
+		Policy:             cfg.Policy,
+	}
+}

@@ -63,38 +63,70 @@ type Config struct {
 	// Platform is the base platform compiled against; per-request config
 	// overrides apply on top of it.
 	Platform sim.Config
+	// DataDir roots the durability journals (layout snapshot + WAL, job
+	// ledger). Empty disables persistence: state is memory-only, as it
+	// was before the journals existed.
+	DataDir string
+	// RequestTimeout is the per-request deadline plumbed into every
+	// handler's context; 0 disables it.
+	RequestTimeout time.Duration
+	// BreakerThreshold is the consecutive simulate-job failure count
+	// that opens the circuit breaker; BreakerCooldown is how long it
+	// stays open before admitting a half-open probe.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RetryBudget is the retry token-bucket capacity: requests declaring
+	// X-Retry-Attempt ≥ 1 each consume a token, refilled at a fraction
+	// of first-attempt traffic.
+	RetryBudget float64
+	// ChaosIntensity > 0 enables the seeded fault-injection middleware
+	// (delays, errors, drops, journal disk faults) at that intensity in
+	// (0, 1]; ChaosSeed fixes its decision stream.
+	ChaosIntensity float64
+	ChaosSeed      int64
 }
 
 // DefaultServerConfig returns the sizing floptd starts with.
 func DefaultServerConfig() Config {
 	return Config{
-		CacheEntries: 128,
-		Workers:      2,
-		QueueDepth:   64,
-		RetainedJobs: 1024,
-		CompileWait:  30 * time.Second,
-		SimTimeout:   120 * time.Second,
-		WalkBudget:   1 << 20,
-		MaxBodyBytes: 1 << 20,
-		Platform:     sim.DefaultConfig(),
+		CacheEntries:     128,
+		Workers:          2,
+		QueueDepth:       64,
+		RetainedJobs:     1024,
+		CompileWait:      30 * time.Second,
+		SimTimeout:       120 * time.Second,
+		WalkBudget:       1 << 20,
+		MaxBodyBytes:     1 << 20,
+		Platform:         sim.DefaultConfig(),
+		RequestTimeout:   30 * time.Second,
+		BreakerThreshold: 5,
+		BreakerCooldown:  5 * time.Second,
+		RetryBudget:      64,
 	}
 }
 
-// Server is the service instance: compile cache, job pool, metrics, and
-// the HTTP mux over them. Create with New, serve Handler, and call Drain
-// on shutdown.
+// Server is the service instance: compile cache, job pool, durability
+// journals, admission control, metrics, and the HTTP surface over them.
+// Create with New, serve Handler, call Drain then Close on shutdown.
 type Server struct {
 	cfg        Config
 	simWorkers int
 	met        *metrics
 	cache      *compileCache
 	jobs       *jobPool
+	persist    *persister
+	chaos      *chaos
+	breaker    *breaker
+	retry      *retryBudget
 	mux        *http.ServeMux
+	handler    http.Handler
 	start      time.Time
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server, recovers journaled state when cfg.DataDir is set,
+// and starts the worker pool. Recovered accepted-but-unfinished jobs are
+// already re-enqueued when New returns.
+func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, met: newMetrics(), start: time.Now()}
 	s.simWorkers = cfg.SimWorkers
 	if s.simWorkers <= 0 {
@@ -108,8 +140,30 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.met.gauge(mSimShards, float64(s.simWorkers))
+	s.chaos = newChaos(cfg.ChaosSeed, cfg.ChaosIntensity, s.met)
+	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, s.met)
+	s.retry = newRetryBudget(cfg.RetryBudget)
 	s.cache = newCompileCache(cfg.CacheEntries, s.met, s.build)
-	s.jobs = newJobPool(cfg.Workers, cfg.QueueDepth, cfg.RetainedJobs, cfg.SimTimeout, s.met, s.runJob)
+	if cfg.DataDir != "" {
+		p, err := newPersister(cfg.DataDir, s.met)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = p
+		if s.chaos != nil {
+			p.failWrite = s.chaos.diskFault
+		}
+	}
+	s.jobs = newJobPool(jobPoolConfig{
+		workers:    cfg.Workers,
+		queueDepth: cfg.QueueDepth,
+		maxJobs:    cfg.RetainedJobs,
+		timeout:    cfg.SimTimeout,
+		met:        s.met,
+		run:        s.runJob,
+		journal:    s.journalJob,
+		onResult:   s.breaker.record,
+	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
 	s.mux.HandleFunc("POST /v1/layouts/{id}/offsets", s.instrument("offsets", s.handleOffsets))
@@ -117,16 +171,144 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	s.handler = s.withMiddleware(s.mux)
+	if s.persist != nil {
+		if err := s.recoverState(); err != nil {
+			s.persist.close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
-// Handler returns the HTTP surface.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP surface (the mux behind the middleware
+// chain: panic recovery, chaos injection, retry budget, deadlines).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain stops accepting simulation jobs and waits for every accepted job
 // to finish (or ctx to expire). Call after http.Server.Shutdown so no
 // new submissions race the drain.
 func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
+
+// Close compacts and closes the durability journals (no-op without a
+// data dir). Call after Drain; the journals then hold a terminal record
+// for every retained job and a snapshot of the resident layout catalog.
+func (s *Server) Close() error {
+	if s.persist == nil {
+		return nil
+	}
+	if err := s.persist.snapshotLayouts(s.cache.has); err != nil {
+		s.met.inc(mJournalErrors)
+	}
+	if err := s.persist.compactJobs(s.jobs.records()); err != nil {
+		s.met.inc(mJournalErrors)
+	}
+	return s.persist.close()
+}
+
+// journalJob is the pool's persistence hook; without a data dir it
+// accepts everything.
+func (s *Server) journalJob(rec jobRecord) error {
+	if s.persist == nil {
+		return nil
+	}
+	return s.persist.appendJob(rec)
+}
+
+// recoverState replays the journals: every journaled layout is
+// recompiled (content addressing makes the recomputed ID a checksum of
+// the replay), terminal jobs are restored as pollable records, and
+// accepted-but-unfinished jobs are re-enqueued. Finishes by compacting
+// both journals so restart cost stays proportional to live state.
+func (s *Server) recoverState() error {
+	recs, err := s.persist.loadLayouts()
+	if err != nil {
+		return fmt.Errorf("service: layout journal replay: %w", err)
+	}
+	s.persist.setReplaying(true)
+	recovered := 0
+	for _, rec := range recs {
+		cfg := rec.Config.apply(s.cfg.Platform)
+		if err := cfg.Validate(); err != nil {
+			s.met.inc(mRecoverySkipped)
+			continue
+		}
+		ent, _, err := s.cache.get(context.Background(), rec.Source, cfg)
+		if err != nil || ent.ID != rec.ID {
+			// Unreplayable (base platform drifted, source rejected by a
+			// newer compiler): content addressing means the record is
+			// stale, not the catalog corrupt. Skip and count.
+			s.met.inc(mRecoverySkipped)
+			continue
+		}
+		recovered++
+	}
+	s.persist.setReplaying(false)
+	s.met.add(mLayoutsRecovered, int64(recovered))
+
+	jrecs, err := s.persist.loadJobs()
+	if err != nil {
+		return fmt.Errorf("service: job journal replay: %w", err)
+	}
+	type ledger struct {
+		accept   *jobRecord
+		terminal *jobRecord
+	}
+	byID := map[string]*ledger{}
+	var order []string
+	for i := range jrecs {
+		rec := &jrecs[i]
+		switch rec.Op {
+		case jobOpAccept:
+			if byID[rec.ID] == nil {
+				byID[rec.ID] = &ledger{accept: rec}
+				order = append(order, rec.ID)
+			}
+		case jobOpDone:
+			if l := byID[rec.ID]; l != nil {
+				l.terminal = rec
+			}
+		}
+	}
+	rerun := 0
+	for _, id := range order {
+		l := byID[id]
+		j := &job{id: id, layoutID: l.accept.Layout}
+		if l.accept.Req != nil {
+			j.req = *l.accept.Req
+		}
+		if l.terminal != nil {
+			j.state, j.errMsg = l.terminal.State, l.terminal.Err
+			j.doneAt = time.Now()
+			s.jobs.restore(j)
+			continue
+		}
+		ent, ok := s.cache.lookup(j.layoutID)
+		if !ok {
+			// The job's layout did not survive replay (skipped record or
+			// LRU pressure during recovery): terminal failure beats a
+			// job stuck queued forever.
+			j.state = jobFailed
+			j.errMsg = fmt.Sprintf("layout %s not recovered after restart", j.layoutID)
+			j.doneAt = time.Now()
+			s.jobs.restore(j)
+			s.met.inc(mRecoverySkipped)
+			continue
+		}
+		j.ent = ent
+		s.jobs.resubmit(j)
+		rerun++
+	}
+	s.met.add(mJobsRecovered, int64(rerun))
+
+	if err := s.persist.snapshotLayouts(s.cache.has); err != nil {
+		s.met.inc(mJournalErrors)
+	}
+	if err := s.persist.compactJobs(s.jobs.records()); err != nil {
+		s.met.inc(mJournalErrors)
+	}
+	return nil
+}
 
 // Metrics exposes the counter set (tests and floptd logging).
 func (s *Server) Metrics() *metrics { return s.met }
@@ -332,6 +514,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.met.inc(mCompileErrors)
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
+	case errors.Is(err, errJournal):
+		// Accepted must mean durable: a layout whose record cannot be
+		// journaled is not cached and not served.
+		s.met.inc(mCompileErrors)
+		s.failErr(w, unavailablef(1, "compile not durable: %v", err))
+		return
 	default:
 		// Optimizer rejections (e.g. degenerate hierarchies) are request
 		// problems too: the same submission will always fail.
@@ -339,6 +527,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, "optimization failed: %v", err)
 		return
 	}
+	s.maybeSnapshot()
 
 	resp := compileResponse{
 		LayoutID: ent.ID,
@@ -361,7 +550,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 // build is the cache's compile function: parse + optimize, plus the
-// array index the offset path needs.
+// array index the offset path needs. The layout record is journaled
+// before the entry can enter the cache — a journal failure fails the
+// build, so every ID a client ever sees survives a restart.
 func (s *Server) build(source string, cfg sim.Config) (*compiled, error) {
 	p, err := flopt.Compile("program", source)
 	if err != nil {
@@ -376,7 +567,31 @@ func (s *Server) build(source string, cfg sim.Config) (*compiled, error) {
 	for _, a := range p.Arrays {
 		ent.arrays[a.Name] = a
 	}
+	if s.persist != nil {
+		rec := layoutRecord{ID: layoutID(source, cfg), Source: source, Config: platformOverrides(cfg)}
+		if err := s.persist.appendLayout(rec); err != nil {
+			return nil, err
+		}
+	}
 	return ent, nil
+}
+
+// maybeSnapshot compacts the layout journal once the WAL outgrows the
+// catalog it describes (4× the LRU capacity, at least 64 records).
+func (s *Server) maybeSnapshot() {
+	if s.persist == nil {
+		return
+	}
+	threshold := 4 * s.cfg.CacheEntries
+	if threshold < 64 {
+		threshold = 64
+	}
+	if s.persist.walSize() < threshold {
+		return
+	}
+	if err := s.persist.snapshotLayouts(s.cache.has); err != nil {
+		s.met.inc(mJournalErrors)
+	}
 }
 
 func (s *Server) handleOffsets(w http.ResponseWriter, r *http.Request) {
@@ -409,6 +624,14 @@ func (s *Server) handleOffsets(w http.ResponseWriter, r *http.Request) {
 	budget := s.cfg.WalkBudget
 	var queries, segs, strided, walked int64
 	for i, q := range req.Queries {
+		// The per-request deadline aborts oversized batches between
+		// queries instead of pinning a worker past it.
+		if err := r.Context().Err(); err != nil {
+			s.met.inc(mOffsetsErrors)
+			s.met.add(mOffsetsQueries, queries)
+			s.failErr(w, unavailablef(1, "request deadline exceeded after %d of %d queries", i, len(req.Queries)))
+			return
+		}
 		res, used, err := resolveQuery(l, a, q, budget)
 		if err != nil {
 			s.met.inc(mOffsetsErrors)
@@ -433,6 +656,14 @@ func (s *Server) handleOffsets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	// Shed before any work while the breaker is open: the expensive
+	// pipeline is protected, the cheap offsets path keeps flowing.
+	if !s.breaker.allow() {
+		s.met.inc(mShedRequests)
+		s.failErr(w, unavailablef(s.jobs.retryAfterSeconds(),
+			"simulate circuit open: recent jobs failed, shedding until a probe succeeds"))
+		return
+	}
 	var req simulateRequest
 	if !s.decode(w, r, &req) {
 		return
@@ -464,14 +695,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		s.met.inc(mJobsRejected)
-		w.Header().Set("Retry-After", "1")
-		s.fail(w, http.StatusTooManyRequests, "simulate queue full (depth %d), retry", s.cfg.QueueDepth)
+		s.failErr(w, overloadf(s.jobs.retryAfterSeconds(),
+			"simulate queue full (depth %d), retry", s.cfg.QueueDepth))
 		return
 	case errors.Is(err, errDraining):
 		s.fail(w, http.StatusServiceUnavailable, "shutting down, not accepting jobs")
 		return
+	case errors.Is(err, errJournal):
+		// The accept record could not be persisted, so the job was not
+		// accepted: acceptance is the durability promise.
+		s.failErr(w, unavailablef(1, "job not durable: %v", err))
+		return
 	case err != nil:
-		s.fail(w, http.StatusInternalServerError, "%v", err)
+		s.failErr(w, err)
 		return
 	}
 	s.met.inc(mJobsSubmitted)

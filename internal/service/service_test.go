@@ -39,7 +39,10 @@ func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Serve
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -47,6 +50,9 @@ func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Serve
 		defer cancel()
 		if err := s.Drain(ctx); err != nil {
 			t.Errorf("drain: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
 		}
 	})
 	return s, ts
@@ -446,7 +452,10 @@ func TestSimWorkersDefaultAndGauge(t *testing.T) {
 
 // stubbedPool builds a jobPool whose run function is the given stub.
 func stubbedPool(workers, depth int, run func(context.Context, *job) (*simReport, error)) *jobPool {
-	return newJobPool(workers, depth, 16, time.Minute, newMetrics(), run)
+	return newJobPool(jobPoolConfig{
+		workers: workers, queueDepth: depth, maxJobs: 16,
+		timeout: time.Minute, met: newMetrics(), run: run,
+	})
 }
 
 func TestJobQueueBackpressure(t *testing.T) {
@@ -513,8 +522,11 @@ func TestDrainLosesNoAcceptedJobs(t *testing.T) {
 }
 
 func TestJobRecordPruning(t *testing.T) {
-	p := newJobPool(1, 64, 4, time.Minute, newMetrics(), func(ctx context.Context, j *job) (*simReport, error) {
-		return &simReport{}, nil
+	p := newJobPool(jobPoolConfig{
+		workers: 1, queueDepth: 64, maxJobs: 4, timeout: time.Minute, met: newMetrics(),
+		run: func(ctx context.Context, j *job) (*simReport, error) {
+			return &simReport{}, nil
+		},
 	})
 	var last string
 	for i := 0; i < 12; i++ {
