@@ -14,13 +14,18 @@
 #   make chaos         — crash-recovery drill: kill -9 floptd under seeded
 #                        fault injection and assert the restarted daemon
 #                        lost zero accepted jobs and zero compiled layouts
+#   make cluster       — 3-node cluster drill: ring routing, distributed
+#                        compile singleflight, peer cache fill, cross-node
+#                        job polls, and kill -9 degradation to local compute
 #   make loadtest      — measure the floptd offsets hot path and print the
-#                        RPS / latency-quantile JSON (see BENCH_service.json)
+#                        RPS / latency-quantile JSON (see BENCH_service.json);
+#                        pass -cluster via scripts/loadtest_service.sh to
+#                        spread the load over a 3-node cluster
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check deprecations lint test race chaos verify bench bench-harness bench-compare serve-smoke loadtest
+.PHONY: build vet fmt-check deprecations lint test race chaos cluster verify bench bench-harness bench-compare serve-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -55,7 +60,10 @@ race:
 chaos:
 	./scripts/chaos_smoke.sh
 
-verify: build lint test race chaos
+cluster:
+	./scripts/cluster_smoke.sh
+
+verify: build lint test race chaos cluster
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .

@@ -19,18 +19,28 @@
 // injection (delays, 500s, dropped connections, journal disk faults) for
 // recovery drills; scripts/chaos_smoke.sh runs one end to end.
 //
+// With -peers and -node-id the daemon joins a static-membership
+// cluster: layout IDs route to owner nodes over a consistent-hash ring
+// (one compile cluster-wide per program), offset-query misses fill from
+// peers with content-address verification, simulate jobs place onto the
+// least-loaded member, and GET /v1/cluster/status reports the roster.
+// Dead peers degrade to local compute behind per-peer circuit breakers;
+// scripts/cluster_smoke.sh drills a 3-node cluster end to end.
+//
 // Usage:
 //
 //	floptd                               # serve on :8080
 //	floptd -addr 127.0.0.1:9090 -workers 4 -queue 128
 //	floptd -data-dir /var/lib/flopt -request-timeout 30s
 //	floptd -data-dir /tmp/drill -chaos 0.2 -chaos-seed 42
+//	floptd -addr :8081 -node-id a -peers 'a=http://h1:8081,b=http://h2:8082'
 //	floptd -version
 //	floptd -loadgen -target http://127.0.0.1:8080 -duration 10s
 //
 // The -loadgen mode turns the same binary into the measurement client
 // scripts/loadtest_service.sh uses: it compiles one workload, hammers
-// the offsets hot path from keep-alive connections, and prints the
+// the offsets hot path from keep-alive connections (round-robin over
+// comma-separated -target URLs in cluster mode), and prints the
 // RPS/latency quantiles as JSON.
 package main
 
@@ -47,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"flopt/internal/cluster"
 	"flopt/internal/service"
 	"flopt/internal/version"
 )
@@ -69,8 +80,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaosSeed    = fs.Int64("chaos-seed", 1, "seed for the deterministic chaos decision stream")
 		showVersion  = fs.Bool("version", false, "print version and exit")
 
+		peers       = fs.String("peers", "", "cluster roster as comma-separated id=url pairs (every member, self included); empty runs single-node")
+		nodeID      = fs.String("node-id", "", "this node's roster ID (required with -peers)")
+		gossipEvery = fs.Duration("gossip-interval", time.Second, "cluster: load-gossip refresh interval")
+		peerTimeout = fs.Duration("peer-timeout", 2*time.Second, "cluster: per-peer call deadline")
+
 		loadgen     = fs.Bool("loadgen", false, "run as load-generation client instead of serving")
-		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: daemon base URL")
+		target      = fs.String("target", "http://127.0.0.1:8080", "loadgen: daemon base URL, or comma-separated URLs to spread load across a cluster")
 		duration    = fs.Duration("duration", 10*time.Second, "loadgen: measurement window")
 		concurrency = fs.Int("concurrency", 32, "loadgen: concurrent client workers")
 		batch       = fs.Int("batch", 4, "loadgen: offset queries per request")
@@ -124,6 +140,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "floptd: -request-timeout must be ≥ 0")
 		return 2
 	}
+	switch {
+	case *peers != "" && *nodeID == "":
+		fmt.Fprintln(stderr, "floptd: -peers requires -node-id")
+		return 2
+	case *peers == "" && *nodeID != "":
+		fmt.Fprintln(stderr, "floptd: -node-id requires -peers")
+		return 2
+	case *peers != "":
+		roster, err := cluster.ParseRoster(*peers)
+		if err != nil {
+			fmt.Fprintln(stderr, "floptd:", err)
+			return 2
+		}
+		if *gossipEvery <= 0 || *peerTimeout <= 0 {
+			fmt.Fprintln(stderr, "floptd: -gossip-interval and -peer-timeout must be > 0")
+			return 2
+		}
+		cfg.Cluster = &service.ClusterConfig{
+			Self:           *nodeID,
+			Roster:         roster,
+			GossipInterval: *gossipEvery,
+			PeerTimeout:    *peerTimeout,
+		}
+	}
 	srv, err := service.New(cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "floptd:", err)
@@ -149,8 +189,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "floptd:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "floptd: %s listening on %s (workers=%d queue=%d cache=%d data-dir=%q chaos=%g)\n",
-		version.Version, ln.Addr(), cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, cfg.DataDir, cfg.ChaosIntensity)
+	mode := "single-node"
+	if cfg.Cluster != nil {
+		mode = fmt.Sprintf("cluster node %s of %d", cfg.Cluster.Self, len(cfg.Cluster.Roster))
+	}
+	fmt.Fprintf(stdout, "floptd: %s listening on %s (%s workers=%d queue=%d cache=%d data-dir=%q chaos=%g)\n",
+		version.Version, ln.Addr(), mode, cfg.Workers, cfg.QueueDepth, cfg.CacheEntries, cfg.DataDir, cfg.ChaosIntensity)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

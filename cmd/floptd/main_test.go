@@ -45,6 +45,33 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 }
 
+func TestRunClusterFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"peers without node-id", []string{"-peers", "a=http://h:1,b=http://h:2"}, "-node-id"},
+		{"node-id without peers", []string{"-node-id", "a"}, "-peers"},
+		{"bad roster", []string{"-node-id", "a", "-peers", "garbage"}, "id=url"},
+		{"duplicate ids", []string{"-node-id", "a", "-peers", "a=http://h:1,a=http://h:2"}, "duplicate"},
+		{"self not in roster", []string{"-node-id", "z", "-peers", "a=http://h:1,b=http://h:2", "-addr", "127.0.0.1:0"}, "not in roster"},
+		{"zero gossip", []string{"-node-id", "a", "-peers", "a=http://h:1", "-gossip-interval", "0s"}, "gossip-interval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			code := run(tc.args, &out, &errOut)
+			if code == 0 {
+				t.Fatalf("run(%v) = 0, want failure", tc.args)
+			}
+			if !strings.Contains(errOut.String(), tc.want) {
+				t.Errorf("stderr = %q, want mention of %q", errOut.String(), tc.want)
+			}
+		})
+	}
+}
+
 // TestRunLoadgenBadTarget exercises the loadgen entry point's error path
 // without a live daemon: an unreachable target fails cleanly.
 func TestRunLoadgenBadTarget(t *testing.T) {

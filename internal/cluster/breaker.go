@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a per-peer consecutive-failure circuit breaker: after
+// threshold transport-level failures in a row the peer is considered
+// down and Allow returns false until cooldown elapses, at which point
+// one probe is let through (half-open). A success anywhere resets the
+// count. Only transport/5xx outcomes should be recorded as failures —
+// a peer answering 400 or 404 is healthy, just unhelpful.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	openedAt  time.Time
+	open      bool
+	now       func() time.Time // injectable clock for tests
+}
+
+// NewBreaker builds a breaker; threshold ≤ 0 defaults to 3 and
+// cooldown ≤ 0 to 5 s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a call to the peer may proceed. While open,
+// only the first caller after cooldown gets through (the probe); the
+// breaker stays open until that probe's Record(true).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown {
+		// Half-open: admit one probe and push the next window out so a
+		// failing probe doesn't unleash a thundering herd.
+		b.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// Record feeds a call outcome. ok=true closes the breaker and clears
+// the failure count; ok=false increments it and opens at threshold.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.failures = 0
+		b.open = false
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.open = true
+		b.openedAt = b.now()
+	}
+}
+
+// Open reports whether the breaker is currently open (for /v1/cluster
+// status and the per-peer up gauge).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Load is one node's gossiped load snapshot: the simulate queue depth,
+// jobs currently running, the job-latency EWMA in microseconds, and the
+// number of resident compiled layouts. UpdatedAt stamps when the
+// snapshot was taken locally (self) or fetched (peer) so placement can
+// discount stale entries.
+type Load struct {
+	QueueDepth int
+	Running    int
+	JobEWMAUS  float64
+	Layouts    int
+	UpdatedAt  time.Time
+}
+
+// Backlog is the placement signal: work accepted but not finished.
+func (l Load) Backlog() int { return l.QueueDepth + l.Running }
+
+// Table is a thread-safe map of node ID → last-known Load, fed by the
+// gossip loop and read by job placement and /v1/cluster/status.
+type Table struct {
+	mu    sync.Mutex
+	loads map[string]Load
+}
+
+func NewTable() *Table { return &Table{loads: map[string]Load{}} }
+
+// Update records a fresh snapshot for id.
+func (t *Table) Update(id string, l Load) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.loads[id] = l
+}
+
+// Forget drops id's entry (peer marked down — its last load no longer
+// describes anything reachable).
+func (t *Table) Forget(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.loads, id)
+}
+
+// Get returns the last snapshot for id, if any.
+func (t *Table) Get(id string) (Load, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.loads[id]
+	return l, ok
+}
+
+// Snapshot copies the whole table.
+func (t *Table) Snapshot() map[string]Load {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]Load, len(t.loads))
+	for id, l := range t.loads {
+		out[id] = l
+	}
+	return out
+}
+
+// LeastLoaded picks the node with the smallest backlog from loads.
+// Ties break toward self — an idle cluster never forwards, which gives
+// placement hysteresis for free — then to the lexicographically
+// smallest ID so every node resolves the same tie the same way. Nodes
+// absent from loads are not candidates; if loads is empty (or self is
+// the only entry), self wins.
+func LeastLoaded(self string, loads map[string]Load) string {
+	ids := make([]string, 0, len(loads))
+	for id := range loads {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	best, bestBacklog := self, int(^uint(0)>>1)
+	if l, ok := loads[self]; ok {
+		bestBacklog = l.Backlog()
+	}
+	for _, id := range ids {
+		if id == self {
+			continue
+		}
+		if b := loads[id].Backlog(); b < bestBacklog {
+			best, bestBacklog = id, b
+		}
+	}
+	return best
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"flopt/internal/service/api"
 )
 
 func TestBreakerStateMachine(t *testing.T) {
@@ -92,7 +94,7 @@ func TestBreakerShedsSimulateNotOffsets(t *testing.T) {
 	}
 	// The cheap path keeps flowing while the expensive one is shed.
 	code, body := postJSON(t, ts.URL+"/v1/layouts/"+comp.LayoutID+"/offsets",
-		offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}}}}, nil)
+		api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 0}}}}, nil)
 	if code != http.StatusOK {
 		t.Errorf("offsets with open breaker: %d: %s", code, body)
 	}
@@ -101,8 +103,8 @@ func TestBreakerShedsSimulateNotOffsets(t *testing.T) {
 	}
 	// A success (probe or otherwise) closes it; simulate flows again.
 	s.breaker.record(nil)
-	var sub jobResponse
-	if code, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
+	var sub api.JobResponse
+	if code, body := postJSON(t, ts.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
 		t.Errorf("simulate after close: %d: %s", code, body)
 	} else {
 		waitJob(t, ts, sub.JobID)
@@ -197,7 +199,7 @@ func TestRequestDeadlineAbortsOffsets(t *testing.T) {
 		t.Fatal(err)
 	}
 	code, body := postJSON(t, ts.URL+"/v1/layouts/"+ent.ID+"/offsets",
-		offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}}}, nil)
+		api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}}}, nil)
 	if code != http.StatusServiceUnavailable {
 		t.Errorf("expired deadline: status %d, want 503 (%s)", code, body)
 	}
@@ -209,10 +211,10 @@ func TestRequestDeadlineAbortsOffsets(t *testing.T) {
 func TestRetryAfterScalesWithBacklog(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{}, 8)
-	p := stubbedPool(1, 8, func(ctx context.Context, j *job) (*simReport, error) {
+	p := stubbedPool(1, 8, func(ctx context.Context, j *job) (*api.SimReport, error) {
 		started <- struct{}{}
 		<-block
-		return &simReport{}, nil
+		return &api.SimReport{}, nil
 	})
 	p.mu.Lock()
 	p.ewmaUS = 2e6 // 2 s per job
@@ -221,7 +223,7 @@ func TestRetryAfterScalesWithBacklog(t *testing.T) {
 	if got := p.retryAfterSeconds(); got != 1 {
 		t.Errorf("idle Retry-After = %d, want floor 1", got)
 	}
-	if _, err := p.submit(nil, simulateRequest{}); err != nil {
+	if _, err := p.submit(nil, api.SimulateRequest{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started // worker holds job 1: backlog 1
@@ -229,7 +231,7 @@ func TestRetryAfterScalesWithBacklog(t *testing.T) {
 		t.Errorf("backlog 1 Retry-After = %d, want 2", got)
 	}
 	for i := 0; i < 4; i++ {
-		if _, err := p.submit(nil, simulateRequest{}); err != nil {
+		if _, err := p.submit(nil, api.SimulateRequest{}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,246 @@
+// Package api declares the floptd v1 wire contract: every request and
+// response body the daemon speaks, plus the single JSON error envelope.
+// The server (internal/service), the Go client (internal/service/client),
+// the load generator, and the cluster peer paths all compile against
+// these one set of types — no handler or client declares its own copy.
+//
+// The contract is versioned by the V1 path prefix; adding a field is a
+// compatible change (all structs tolerate unknown fields on decode),
+// renaming or retyping one is not.
+package api
+
+import "flopt/internal/sim"
+
+// V1 is the versioned path prefix every service route lives under
+// (e.g. "/"+V1+"/compile").
+const V1 = "v1"
+
+// Job states, in lifecycle order. A job ID returned by a simulate
+// submission is guaranteed to reach JobDone or JobFailed, across drains
+// and (with a data dir) crashes.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// PlatformConfig is the per-request platform override set; zero fields
+// keep the serving node's base platform value. It doubles as the
+// journaled configuration of a compiled layout: captured from a full
+// sim.Config it reproduces every compile-relevant field.
+type PlatformConfig struct {
+	ComputeNodes       int    `json:"compute_nodes,omitempty"`
+	IONodes            int    `json:"io_nodes,omitempty"`
+	StorageNodes       int    `json:"storage_nodes,omitempty"`
+	ThreadsPerCompute  int    `json:"threads_per_compute,omitempty"`
+	BlockElems         int64  `json:"block_elems,omitempty"`
+	IOCacheBlocks      int    `json:"io_cache_blocks,omitempty"`
+	StorageCacheBlocks int    `json:"storage_cache_blocks,omitempty"`
+	Policy             string `json:"policy,omitempty"`
+}
+
+// Apply overlays the non-zero override fields onto cfg.
+func (o *PlatformConfig) Apply(cfg sim.Config) sim.Config {
+	if o == nil {
+		return cfg
+	}
+	if o.ComputeNodes > 0 {
+		cfg.ComputeNodes = o.ComputeNodes
+	}
+	if o.IONodes > 0 {
+		cfg.IONodes = o.IONodes
+	}
+	if o.StorageNodes > 0 {
+		cfg.StorageNodes = o.StorageNodes
+	}
+	if o.ThreadsPerCompute > 0 {
+		cfg.ThreadsPerCompute = o.ThreadsPerCompute
+	}
+	if o.BlockElems > 0 {
+		cfg.BlockElems = o.BlockElems
+	}
+	if o.IOCacheBlocks > 0 {
+		cfg.IOCacheBlocks = o.IOCacheBlocks
+	}
+	if o.StorageCacheBlocks > 0 {
+		cfg.StorageCacheBlocks = o.StorageCacheBlocks
+	}
+	if o.Policy != "" {
+		cfg.Policy = o.Policy
+	}
+	return cfg
+}
+
+// FromConfig captures cfg's layout-relevant fields as a full override
+// set, so applying it over any base platform reproduces the
+// compile-relevant configuration (and therefore the content-addressed
+// layout ID).
+func FromConfig(cfg sim.Config) *PlatformConfig {
+	return &PlatformConfig{
+		ComputeNodes:       cfg.ComputeNodes,
+		IONodes:            cfg.IONodes,
+		StorageNodes:       cfg.StorageNodes,
+		ThreadsPerCompute:  cfg.ThreadsPerCompute,
+		BlockElems:         cfg.BlockElems,
+		IOCacheBlocks:      cfg.IOCacheBlocks,
+		StorageCacheBlocks: cfg.StorageCacheBlocks,
+		Policy:             cfg.Policy,
+	}
+}
+
+// CompileRequest submits one program for layout compilation. Exactly one
+// of Source (a mini-language program) and Workload (a built-in benchmark
+// name) must be set.
+type CompileRequest struct {
+	Source   string          `json:"source,omitempty"`
+	Workload string          `json:"workload,omitempty"`
+	Config   *PlatformConfig `json:"config,omitempty"`
+}
+
+// ArrayInfo describes one array of a compiled layout set.
+type ArrayInfo struct {
+	Dims      []int64 `json:"dims"`
+	Layout    string  `json:"layout"`
+	FileElems int64   `json:"file_elems"`
+	Optimized bool    `json:"optimized"`
+}
+
+// CompileResponse is the result of a compile (or dedup): the stable
+// content-addressed layout ID and the per-array layout summary. Node, in
+// cluster mode, names the node that owns (built) the layout.
+type CompileResponse struct {
+	LayoutID    string               `json:"layout_id"`
+	Cached      bool                 `json:"cached"`
+	Pattern     string               `json:"pattern"`
+	Arrays      map[string]ArrayInfo `json:"arrays"`
+	Optimized   int                  `json:"optimized"`
+	TotalArrays int                  `json:"total_arrays"`
+	Node        string               `json:"node,omitempty"`
+}
+
+// OffsetQuery is one batch item: the file offsets of the index walk
+// start, start+dir, …, start+(count-1)·dir. Count defaults to 1 (a point
+// query, dir optional); every point of the walk must lie inside the
+// array.
+type OffsetQuery struct {
+	Start []int64 `json:"start"`
+	Dir   []int64 `json:"dir,omitempty"`
+	Count int64   `json:"count,omitempty"`
+}
+
+// OffsetsRequest is a batch of offset queries against one array of a
+// compiled layout.
+type OffsetsRequest struct {
+	Array   string        `json:"array"`
+	Queries []OffsetQuery `json:"queries"`
+}
+
+// Seg is an affine offset segment: offsets k = 0 … count-1 are
+// start + k·stride.
+type Seg struct {
+	Start  int64 `json:"start"`
+	Stride int64 `json:"stride"`
+	Count  int64 `json:"count"`
+}
+
+// OffsetResult is the answer to one query: the walk decomposed into
+// maximal affine segments. Strided reports whether the layout's
+// closed-form Strider path produced them (O(segments)); false means the
+// per-element fallback walked and merged (O(count), charged against the
+// request's walk budget).
+type OffsetResult struct {
+	Segs    []Seg `json:"segs"`
+	Strided bool  `json:"strided"`
+}
+
+// OffsetsResponse answers a batch. LayoutID always echoes the layout the
+// batch resolved against — on the resident fast path and on the
+// miss/fill path alike. Filled reports that this node materialized the
+// layout on demand (a cluster peer fill) to serve the request.
+type OffsetsResponse struct {
+	LayoutID  string         `json:"layout_id"`
+	Array     string         `json:"array"`
+	FileElems int64          `json:"file_elems"`
+	Results   []OffsetResult `json:"results"`
+	Filled    bool           `json:"filled,omitempty"`
+}
+
+// SimulateRequest enqueues one asynchronous simulation of a compiled
+// layout.
+type SimulateRequest struct {
+	LayoutID string `json:"layout_id"`
+	// Optimized selects the compiled layouts (default true); false runs
+	// the row-major default execution for comparison.
+	Optimized *bool   `json:"optimized,omitempty"`
+	Policy    string  `json:"policy,omitempty"`
+	Faults    float64 `json:"faults,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+}
+
+// SimReport is the job result: the execution report projected to its
+// serving-relevant fields.
+type SimReport struct {
+	ExecTimeUS       int64   `json:"exec_time_us"`
+	Accesses         int64   `json:"accesses"`
+	DiskReads        int64   `json:"disk_reads"`
+	IOMissPct        float64 `json:"io_miss_pct"`
+	StorageMissPct   float64 `json:"storage_miss_pct"`
+	Policy           string  `json:"policy"`
+	Retries          int64   `json:"retries,omitempty"`
+	Timeouts         int64   `json:"timeouts,omitempty"`
+	DegradedReads    int64   `json:"degraded_reads,omitempty"`
+	FailedOverBlocks int64   `json:"failed_over_blocks,omitempty"`
+}
+
+// JobResponse reports one job's state (submission and polling share it).
+// Node, in cluster mode, names the node executing the job; poll any
+// cluster node and the request is proxied there.
+type JobResponse struct {
+	JobID  string     `json:"job_id"`
+	State  string     `json:"state"`
+	Report *SimReport `json:"report,omitempty"`
+	Error  string     `json:"error,omitempty"`
+	Node   string     `json:"node,omitempty"`
+}
+
+// LayoutRecord is the portable form of a compiled layout: its inputs.
+// Content addressing makes it verifiable — recompiling Source under
+// Config applied to the same base platform must reproduce ID — which is
+// what lets cluster peers fill their caches from each other and the
+// durability journal replay compiles after a restart, both without
+// trusting the record.
+type LayoutRecord struct {
+	ID     string          `json:"id"`
+	Source string          `json:"source"`
+	Config *PlatformConfig `json:"config,omitempty"`
+}
+
+// NodeStatus is one cluster member as seen by the answering node.
+type NodeStatus struct {
+	ID   string `json:"id"`
+	URL  string `json:"url,omitempty"`
+	Self bool   `json:"self,omitempty"`
+	// Healthy reports reachability: always true for the answering node;
+	// for peers, false once the per-peer circuit breaker opened or the
+	// gossiped load snapshot went stale.
+	Healthy bool `json:"healthy"`
+	// RingShare is the fraction of the layout-ID hash space this node
+	// owns under the consistent-hash ring.
+	RingShare float64 `json:"ring_share"`
+	// Load snapshot: simulate queue depth, running jobs, and the
+	// job-latency EWMA the admission layer maintains. For peers these are
+	// the last gossiped values.
+	QueueDepth      int     `json:"queue_depth"`
+	RunningJobs     int     `json:"running_jobs"`
+	JobEWMAUS       float64 `json:"job_ewma_us"`
+	LayoutsResident int     `json:"layouts_resident"`
+}
+
+// ClusterStatusResponse is the answering node's view of the cluster:
+// its own identity plus one entry per roster member (itself included),
+// sorted by node ID. A single-node daemon answers with one self entry.
+type ClusterStatusResponse struct {
+	Self  string       `json:"self"`
+	Nodes []NodeStatus `json:"nodes"`
+}

@@ -1,0 +1,47 @@
+package api
+
+// Error codes: the machine-readable classification carried by every
+// error envelope. Each code corresponds to exactly one HTTP status, so
+// clients can branch on Code without re-deriving semantics from the
+// status line.
+const (
+	CodeBadRequest    = "bad_request"   // 400: malformed or semantically invalid; retrying unchanged always fails
+	CodeNotFound      = "not_found"     // 404: the referenced layout or job does not exist here
+	CodeUnprocessable = "unprocessable" // 422: well-formed but uncompilable under this platform
+	CodeOverload      = "overload"      // 429: shedding load; honor RetryAfterS
+	CodeUnavailable   = "unavailable"   // 503: transient server-side condition; a later retry may succeed
+	CodeInternal      = "internal"      // 500: a bug (recovered panic, impossible state)
+)
+
+// Error is the single JSON error envelope every v1 route answers
+// failures with: a human-readable message, a machine-readable code, and
+// the server's retry hint in seconds (0 when retrying is pointless or
+// immediate).
+type Error struct {
+	Message     string `json:"error"`
+	Code        string `json:"code,omitempty"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// Error implements the error interface so an envelope decoded by a
+// client can be returned (and wrapped) directly.
+func (e *Error) Error() string { return e.Message }
+
+// CodeForStatus maps an HTTP status to its envelope code (the inverse
+// of the server's kind→status mapping; unknown statuses are internal).
+func CodeForStatus(status int) string {
+	switch status {
+	case 400:
+		return CodeBadRequest
+	case 404:
+		return CodeNotFound
+	case 422:
+		return CodeUnprocessable
+	case 429:
+		return CodeOverload
+	case 503:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}

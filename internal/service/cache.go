@@ -85,6 +85,16 @@ func newCompileCache(max int, met *metrics, compile func(string, sim.Config) (*c
 // joined waiters (and future requests) still receive the result; only
 // this caller's wait is cut short.
 func (cc *compileCache) get(ctx context.Context, source string, cfg sim.Config) (*compiled, bool, error) {
+	return cc.getCounted(ctx, source, cfg, mCompileBuilds)
+}
+
+// getCounted is get with the build charged to an explicit counter:
+// client-driven compiles count in compile_builds_total, cluster peer
+// fills in cluster_fill_builds_total — keeping compile_builds_total the
+// exact count of authoritative builds, which is what makes the
+// distributed-singleflight property observable. When a fill and a
+// compile race on one ID, whichever starts the build picks the counter.
+func (cc *compileCache) getCounted(ctx context.Context, source string, cfg sim.Config, buildCounter string) (*compiled, bool, error) {
 	id := layoutID(source, cfg)
 	cc.mu.Lock()
 	cc.seq++
@@ -108,7 +118,7 @@ func (cc *compileCache) get(ctx context.Context, source string, cfg sim.Config) 
 	cc.calls[id] = c
 	cc.mu.Unlock()
 
-	cc.met.inc(mCompileBuilds)
+	cc.met.inc(buildCounter)
 	ent, err := cc.compile(source, cfg)
 	if ent != nil {
 		ent.ID = id

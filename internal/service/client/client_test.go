@@ -1,0 +1,191 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flopt/internal/service/api"
+)
+
+func TestTypedErrors(t *testing.T) {
+	cases := []struct {
+		status int
+		env    api.Error
+		want   error
+	}{
+		{400, api.Error{Message: "bad", Code: api.CodeBadRequest}, ErrBadRequest},
+		{404, api.Error{Message: "gone", Code: api.CodeNotFound}, ErrNotFound},
+		{422, api.Error{Message: "nope", Code: api.CodeUnprocessable}, ErrUnprocessable},
+		{429, api.Error{Message: "slow down", Code: api.CodeOverload, RetryAfterS: 7}, ErrThrottled},
+		{503, api.Error{Message: "draining", Code: api.CodeUnavailable}, ErrUnavailable},
+		{500, api.Error{Message: "boom", Code: api.CodeInternal}, ErrInternal},
+	}
+	for _, tc := range cases {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(tc.status)
+			json.NewEncoder(w).Encode(tc.env)
+		}))
+		c := New(srv.URL)
+		_, err := c.JobStatus(context.Background(), "job-1")
+		srv.Close()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("status %d: errors.Is(%v, %v) = false", tc.status, err, tc.want)
+		}
+		var ae *APIError
+		if !errors.As(err, &ae) {
+			t.Fatalf("status %d: error %T is not *APIError", tc.status, err)
+		}
+		if ae.Message != tc.env.Message || ae.Status != tc.status {
+			t.Errorf("status %d: APIError = %+v", tc.status, ae)
+		}
+		if tc.status == 429 && ae.RetryAfterS != 7 {
+			t.Errorf("RetryAfterS = %d, want 7", ae.RetryAfterS)
+		}
+	}
+}
+
+func TestNonJSONErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text panic", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	_, err := New(srv.URL).JobStatus(context.Background(), "j")
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("errors.Is(ErrInternal) = false for %v", err)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Message != "plain text panic" {
+		t.Fatalf("APIError = %+v", ae)
+	}
+}
+
+func TestRetriesCarryAttemptHeaderAndStopOn4xx(t *testing.T) {
+	var calls int32
+	var attempts []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts = append(attempts, r.Header.Get("X-Retry-Attempt"))
+		if atomic.AddInt32(&calls, 1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.Error{Message: "warming up", Code: api.CodeUnavailable})
+			return
+		}
+		json.NewEncoder(w).Encode(api.JobResponse{JobID: "job-9", State: api.JobDone})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(3), WithMaxRetryWait(10*time.Millisecond))
+	job, err := c.JobStatus(context.Background(), "job-9")
+	if err != nil {
+		t.Fatalf("JobStatus: %v", err)
+	}
+	if job.JobID != "job-9" || job.State != api.JobDone {
+		t.Fatalf("job = %+v", job)
+	}
+	wantAttempts := []string{"", "1", "2"}
+	if len(attempts) != len(wantAttempts) {
+		t.Fatalf("attempts = %v", attempts)
+	}
+	for i, a := range attempts {
+		if a != wantAttempts[i] {
+			t.Errorf("attempt %d header = %q, want %q", i, a, wantAttempts[i])
+		}
+	}
+
+	// A 404 must not be retried even with budget left.
+	atomic.StoreInt32(&calls, 0)
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(api.Error{Message: "no such job", Code: api.CodeNotFound})
+	}))
+	defer srv2.Close()
+	if _, err := New(srv2.URL, WithRetries(5)).JobStatus(context.Background(), "j"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&calls); n != 1 {
+		t.Fatalf("404 was retried: %d calls", n)
+	}
+}
+
+func TestStaticHeaderAndRoutes(t *testing.T) {
+	type seen struct {
+		method, path, peer string
+	}
+	var got []seen
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, seen{r.Method, r.URL.Path, r.Header.Get("X-Floptd-Peer")})
+		switch {
+		case r.URL.Path == "/v1/compile":
+			json.NewEncoder(w).Encode(api.CompileResponse{LayoutID: "ly0"})
+		case r.URL.Path == "/v1/layouts/ly0/offsets":
+			json.NewEncoder(w).Encode(api.OffsetsResponse{LayoutID: "ly0"})
+		case r.URL.Path == "/v1/layouts/ly0":
+			json.NewEncoder(w).Encode(api.LayoutRecord{ID: "ly0"})
+		case r.URL.Path == "/v1/simulate":
+			json.NewEncoder(w).Encode(api.JobResponse{JobID: "job-1"})
+		case r.URL.Path == "/v1/cluster/status":
+			json.NewEncoder(w).Encode(api.ClusterStatusResponse{Self: "a"})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithHeader("X-Floptd-Peer", "b"))
+	ctx := context.Background()
+	if _, err := c.Compile(ctx, &api.CompileRequest{Source: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Offsets(ctx, "ly0", &api.OffsetsRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LayoutRecord(ctx, "ly0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Simulate(ctx, &api.SimulateRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ClusterStatus(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := []seen{
+		{"POST", "/v1/compile", "b"},
+		{"POST", "/v1/layouts/ly0/offsets", "b"},
+		{"GET", "/v1/layouts/ly0", "b"},
+		{"POST", "/v1/simulate", "b"},
+		{"GET", "/v1/cluster/status", "b"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("saw %d requests, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("request %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestContextCancellationStopsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.Error{Message: "down", Code: api.CodeUnavailable, RetryAfterS: 30})
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(srv.URL, WithRetries(10), WithMaxRetryWait(10*time.Second)).JobStatus(ctx, "j")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored context: ran %v", elapsed)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"flopt/internal/service/api"
 )
 
 // TestConcurrentCompileSingleflight is the singleflight proof the
@@ -59,9 +61,9 @@ func TestParallelMixedClients(t *testing.T) {
 		go func() { // compilers: alternate identical and distinct platforms
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				req := compileRequest{Source: testProg}
+				req := api.CompileRequest{Source: testProg}
 				if i%2 == 1 {
-					req.Config = &platformJSON{IOCacheBlocks: 32 + i}
+					req.Config = &api.PlatformConfig{IOCacheBlocks: 32 + i}
 				}
 				if code, body := postJSON(t, ts.URL+"/v1/compile", req, nil); code != http.StatusOK {
 					fail <- "compile: " + body
@@ -72,7 +74,7 @@ func TestParallelMixedClients(t *testing.T) {
 		go func(c int) { // offset queriers on the hot path
 			defer wg.Done()
 			for i := 0; i < 16; i++ {
-				req := offsetsRequest{Array: "A", Queries: []offsetQuery{
+				req := api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{
 					{Start: []int64{int64(c % 64), 0}, Dir: []int64{0, 1}, Count: 64},
 				}}
 				if code, body := postJSON(t, offURL, req, nil); code != http.StatusOK {
@@ -83,13 +85,13 @@ func TestParallelMixedClients(t *testing.T) {
 		}(c)
 		go func() { // simulate submitters (queue sized to accept all)
 			defer wg.Done()
-			var sub jobResponse
+			var sub api.JobResponse
 			if code, body := postJSON(t, ts.URL+"/v1/simulate",
-				simulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
+				api.SimulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
 				fail <- "simulate: " + body
 				return
 			}
-			if j := waitJob(t, ts, sub.JobID); j.State != jobDone {
+			if j := waitJob(t, ts, sub.JobID); j.State != api.JobDone {
 				fail <- "job: " + j.Error
 			}
 		}()
@@ -132,14 +134,14 @@ func TestConcurrentEvictionAndQueries(t *testing.T) {
 	go func() { // churn the cache with distinct platforms
 		defer wg.Done()
 		for i := 0; i < 12; i++ {
-			req := compileRequest{Source: testProg, Config: &platformJSON{IOCacheBlocks: 16 + i}}
+			req := api.CompileRequest{Source: testProg, Config: &api.PlatformConfig{IOCacheBlocks: 16 + i}}
 			postJSON(t, ts.URL+"/v1/compile", req, nil)
 		}
 	}()
 	go func() { // hammer the original ID; 200 and 404 are both legal
 		defer wg.Done()
 		for i := 0; i < 32; i++ {
-			req := offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}}}
+			req := api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}}}
 			code, body := postJSON(t, offURL, req, nil)
 			if code != http.StatusOK && code != http.StatusNotFound {
 				t.Errorf("offsets under eviction: %d: %s", code, body)
@@ -163,8 +165,8 @@ func TestServerDrainCompletesAcceptedJobs(t *testing.T) {
 	comp := compileTestProg(t, ts)
 	var ids []string
 	for i := 0; i < 6; i++ {
-		var sub jobResponse
-		code, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub)
+		var sub api.JobResponse
+		code, body := postJSON(t, ts.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, &sub)
 		if code != http.StatusAccepted {
 			t.Fatalf("submit %d: %d: %s", i, code, body)
 		}
@@ -177,11 +179,11 @@ func TestServerDrainCompletesAcceptedJobs(t *testing.T) {
 	}
 	for _, id := range ids {
 		j, ok := s.jobs.status(id)
-		if !ok || j.state != jobDone {
+		if !ok || j.state != api.JobDone {
 			t.Errorf("job %s: state %q after drain", id, j.state)
 		}
 	}
-	if code, _ := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, nil); code != http.StatusServiceUnavailable {
+	if code, _ := postJSON(t, ts.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, nil); code != http.StatusServiceUnavailable {
 		t.Errorf("post-drain submit: status %d, want 503", code)
 	}
 }

@@ -84,8 +84,5 @@ func (s *Server) failErr(w http.ResponseWriter, err error) {
 	if !errors.As(err, &se) {
 		se = &svcError{kind: kindInternal, msg: err.Error()}
 	}
-	if se.retryAfter > 0 {
-		w.Header().Set("Retry-After", fmt.Sprint(se.retryAfter))
-	}
-	s.fail(w, se.kind.status(), "%s", se.msg)
+	s.failEnvelope(w, se.kind.status(), se.retryAfter, se.msg)
 }

@@ -8,18 +8,15 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"flopt/internal/service/api"
 )
 
-// Job states, in lifecycle order. A job is accepted the moment submit
-// returns its ID: from then on it is guaranteed to reach done or failed,
-// even across a graceful drain — and, when a job journal is configured,
-// across a crash (recovery re-enqueues accepted-but-unfinished jobs).
-const (
-	jobQueued  = "queued"
-	jobRunning = "running"
-	jobDone    = "done"
-	jobFailed  = "failed"
-)
+// Job states live in the api package (api.JobQueued … api.JobFailed): a
+// job is accepted the moment submit returns its ID, and from then on it
+// is guaranteed to reach done or failed — even across a graceful drain
+// and, when a job journal is configured, across a crash (recovery
+// re-enqueues accepted-but-unfinished jobs).
 
 // errQueueFull rejects a submission when the bounded queue has no room;
 // the handler maps it to 429 + Retry-After. errDraining rejects
@@ -35,10 +32,10 @@ type job struct {
 	id       string
 	ent      *compiled
 	layoutID string
-	req      simulateRequest
+	req      api.SimulateRequest
 
 	state    string
-	report   *simReport
+	report   *api.SimReport
 	errMsg   string
 	queuedAt time.Time
 	doneAt   time.Time
@@ -52,11 +49,15 @@ type jobPoolConfig struct {
 	workers    int
 	queueDepth int
 	maxJobs    int
-	timeout    time.Duration
-	met        *metrics
-	run        func(context.Context, *job) (*simReport, error)
-	journal    func(jobRecord) error
-	onResult   func(error)
+	// idPrefix namespaces job IDs ("job-<prefix><n>"): cluster mode sets
+	// it to "<nodeID>-" so IDs are globally unique and any node can route
+	// a status poll to the node that owns the job.
+	idPrefix string
+	timeout  time.Duration
+	met      *metrics
+	run      func(context.Context, *job) (*api.SimReport, error)
+	journal  func(jobRecord) error
+	onResult func(error)
 }
 
 // jobPool runs simulations on a fixed set of workers fed by a bounded
@@ -94,7 +95,7 @@ func newJobPool(cfg jobPoolConfig) *jobPool {
 // draining pool returns errDraining; a failed accept-record journal
 // write returns the journal error (the job is NOT accepted — clients
 // must never hold an ID that a crash could lose).
-func (p *jobPool) submit(ent *compiled, req simulateRequest) (string, error) {
+func (p *jobPool) submit(ent *compiled, req api.SimulateRequest) (string, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.draining {
@@ -108,10 +109,10 @@ func (p *jobPool) submit(ent *compiled, req simulateRequest) (string, error) {
 	}
 	p.seq++
 	j := &job{
-		id:       fmt.Sprintf("job-%d", p.seq),
+		id:       fmt.Sprintf("job-%s%d", p.cfg.idPrefix, p.seq),
 		ent:      ent,
 		req:      req,
-		state:    jobQueued,
+		state:    api.JobQueued,
 		queuedAt: time.Now(),
 	}
 	if ent != nil {
@@ -150,7 +151,7 @@ func (p *jobPool) restore(j *job) {
 // draining, so the backlog clears without deadlock.
 func (p *jobPool) resubmit(j *job) {
 	p.mu.Lock()
-	j.state = jobQueued
+	j.state = api.JobQueued
 	j.queuedAt = time.Now()
 	p.jobs[j.id] = j
 	p.order = append(p.order, j.id)
@@ -163,7 +164,8 @@ func (p *jobPool) resubmit(j *job) {
 // bumpSeqLocked advances the ID sequence past a recovered job's number
 // so post-restart submissions never collide. Caller holds p.mu.
 func (p *jobPool) bumpSeqLocked(id string) {
-	if n, err := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64); err == nil && n > p.seq {
+	num := strings.TrimPrefix(strings.TrimPrefix(id, "job-"), p.cfg.idPrefix)
+	if n, err := strconv.ParseUint(num, 10, 64); err == nil && n > p.seq {
 		p.seq = n
 	}
 }
@@ -179,7 +181,7 @@ func (p *jobPool) pruneLocked() {
 	kept := p.order[:0]
 	for _, id := range p.order {
 		j := p.jobs[id]
-		if excess > 0 && (j.state == jobDone || j.state == jobFailed) {
+		if excess > 0 && (j.state == api.JobDone || j.state == api.JobFailed) {
 			delete(p.jobs, id)
 			excess--
 			continue
@@ -211,7 +213,7 @@ func (p *jobPool) records() []jobRecord {
 		j := p.jobs[id]
 		req := j.req
 		recs = append(recs, jobRecord{Op: jobOpAccept, ID: j.id, Layout: j.layoutID, Req: &req})
-		if j.state == jobDone || j.state == jobFailed {
+		if j.state == api.JobDone || j.state == api.JobFailed {
 			recs = append(recs, jobRecord{Op: jobOpDone, ID: j.id, State: j.state, Err: j.errMsg})
 		}
 	}
@@ -222,7 +224,7 @@ func (p *jobPool) worker() {
 	defer p.wg.Done()
 	for j := range p.queue {
 		p.mu.Lock()
-		j.state = jobRunning
+		j.state = api.JobRunning
 		p.running++
 		running := p.running
 		p.mu.Unlock()
@@ -241,9 +243,9 @@ func (p *jobPool) worker() {
 		p.mu.Lock()
 		j.doneAt = time.Now()
 		if err != nil {
-			j.state, j.errMsg = jobFailed, err.Error()
+			j.state, j.errMsg = api.JobFailed, err.Error()
 		} else {
-			j.state, j.report = jobDone, rep
+			j.state, j.report = api.JobDone, rep
 		}
 		// Latency EWMA over accept→terminal, feeding Retry-After.
 		latUS := float64(j.doneAt.Sub(j.queuedAt).Microseconds())
@@ -298,6 +300,14 @@ func (p *jobPool) drain(ctx context.Context) error {
 
 // depth returns the current queue length (healthz).
 func (p *jobPool) depth() int { return len(p.queue) }
+
+// loadStats snapshots the pool's load — queue depth, running jobs, and
+// the job-latency EWMA — for cluster status gossip and job placement.
+func (p *jobPool) loadStats() (depth, running int, ewmaUS float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue), p.running, p.ewmaUS
+}
 
 // retryAfterSeconds estimates when queue room will exist: the current
 // backlog (queued + running) times the job-latency EWMA, divided across

@@ -1,24 +1,28 @@
 package service
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"flopt/internal/exp"
+	"flopt/internal/service/api"
+	"flopt/internal/service/client"
 )
 
 // LoadOptions configures one load-generation run against a running
-// daemon. The generator compiles Workload once, then hammers the
-// offset-query hot path from Concurrency keep-alive connections for
-// Duration, measuring client-side latency.
+// daemon (or a cluster of them). The generator compiles Workload once,
+// warms every target, then hammers the offset-query hot path from
+// Concurrency keep-alive connections for Duration, measuring
+// client-side latency. All traffic goes through the typed v1 client —
+// the generator holds no wire-format knowledge of its own.
 type LoadOptions struct {
+	// BaseURL is one node URL, or a comma-separated list for cluster
+	// mode; workers round-robin across the targets.
 	BaseURL     string
 	Workload    string
 	Duration    time.Duration
@@ -52,28 +56,40 @@ type LoadResult struct {
 	P90US     int64   `json:"p90_us"`
 	P99US     int64   `json:"p99_us"`
 	MaxUS     int64   `json:"max_us"`
+	// Targets is the number of nodes traffic was spread over.
+	Targets int `json:"targets,omitempty"`
 }
 
-// RunLoad executes the load test. It returns an error only when the
-// target cannot be reached or compiled against; per-request failures
+// RunLoad executes the load test. It returns an error only when no
+// target can be reached or compiled against; per-request failures
 // during the measured window are counted in Errors.
 func RunLoad(ctx context.Context, opt LoadOptions) (*LoadResult, error) {
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        opt.Concurrency * 2,
-		MaxIdleConnsPerHost: opt.Concurrency * 2,
-	}}
+	hc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        opt.Concurrency * 2,
+			MaxIdleConnsPerHost: opt.Concurrency * 2,
+		},
+	}
+	var targets []*client.Client
+	for _, u := range strings.Split(opt.BaseURL, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		targets = append(targets, client.New(u, client.WithHTTPClient(hc)))
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no target URLs in %q", opt.BaseURL)
+	}
 
-	// Compile once; every worker queries the resulting layout.
-	body, _ := json.Marshal(compileRequest{Workload: opt.Workload})
-	resp, err := client.Post(opt.BaseURL+"/v1/compile", "application/json", bytes.NewReader(body))
+	// Compile once via the first target; in cluster mode the routing
+	// layer forwards it to the ring owner either way. Then warm every
+	// other target with one offsets probe so peer cache fills happen
+	// before the measured window, not during it.
+	comp, err := targets[0].Compile(ctx, &api.CompileRequest{Workload: opt.Workload})
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: compile: %w", err)
-	}
-	var comp compileResponse
-	err = json.NewDecoder(resp.Body).Decode(&comp)
-	resp.Body.Close()
-	if err != nil || resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("loadgen: compile: status %d (%v)", resp.StatusCode, err)
 	}
 	// Query the largest array along its innermost dimension — the
 	// contiguous-run case the Strider fast path serves in O(segments).
@@ -93,14 +109,18 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadResult, error) {
 	}
 	dir := make([]int64, len(dims))
 	dir[len(dims)-1] = 1
-	queries := make([]offsetQuery, opt.Batch)
+	queries := make([]api.OffsetQuery, opt.Batch)
 	for i := range queries {
 		start := make([]int64, len(dims))
 		start[0] = int64(i) % dims[0] // spread batches across rows
-		queries[i] = offsetQuery{Start: start, Dir: dir, Count: count}
+		queries[i] = api.OffsetQuery{Start: start, Dir: dir, Count: count}
 	}
-	qbody, _ := json.Marshal(offsetsRequest{Array: array, Queries: queries})
-	url := opt.BaseURL + "/v1/layouts/" + comp.LayoutID + "/offsets"
+	req := &api.OffsetsRequest{Array: array, Queries: queries}
+	for i, tgt := range targets {
+		if _, err := tgt.Offsets(ctx, comp.LayoutID, req); err != nil {
+			return nil, fmt.Errorf("loadgen: warmup target %d (%s): %w", i, tgt.BaseURL(), err)
+		}
+	}
 
 	var mu sync.Mutex
 	latencies := make([][]int64, opt.Concurrency)
@@ -108,18 +128,12 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadResult, error) {
 	start := time.Now()
 	deadline := start.Add(opt.Duration)
 	err = exp.ForEachIndex(ctx, opt.Concurrency, opt.Concurrency, func(w int) error {
+		tgt := targets[w%len(targets)]
 		var lats []int64
 		var myErrs int64
 		for time.Now().Before(deadline) && ctx.Err() == nil {
 			t0 := time.Now()
-			resp, err := client.Post(url, "application/json", bytes.NewReader(qbody))
-			if err != nil {
-				myErrs++
-				continue
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
+			if _, err := tgt.Offsets(ctx, comp.LayoutID, req); err != nil {
 				myErrs++
 				continue
 			}
@@ -146,6 +160,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (*LoadResult, error) {
 		Errors:    errs,
 		DurationS: elapsed.Seconds(),
 		RPS:       float64(len(all)) / elapsed.Seconds(),
+		Targets:   len(targets),
 	}
 	if len(all) > 0 {
 		res.P50US = all[len(all)*50/100]

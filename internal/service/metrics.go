@@ -56,7 +56,25 @@ const (
 	mChaosErrors     = "chaos_errors_total"
 	mChaosDrops      = "chaos_drops_total"
 	mChaosDiskFaults = "chaos_disk_faults_total"
+
+	// Cluster mode. Per-peer counters and gauges additionally exist as
+	// cluster_peer_requests_total_<id>, cluster_peer_errors_total_<id>,
+	// cluster_peer_up_<id> and cluster_ring_share_<id> — flat names with
+	// the peer ID suffixed, built at runtime from the roster.
+	mClusterForwardCompile = "cluster_compile_forwarded_total"
+	mClusterJobsPlaced     = "cluster_jobs_placed_remote_total"
+	mClusterJobsProxied    = "cluster_jobs_proxied_total"
+	mClusterFills          = "cluster_peer_fills_total"
+	mClusterFillBuilds     = "cluster_fill_builds_total"
+	mClusterFillMismatch   = "cluster_fill_mismatch_total"
+	mClusterLocalFallback  = "cluster_peer_fallback_local_total"
 )
+
+// Per-peer metric names (the flat-name convention above).
+func mPeerRequests(id string) string { return "cluster_peer_requests_total_" + id }
+func mPeerErrors(id string) string   { return "cluster_peer_errors_total_" + id }
+func mPeerUp(id string) string       { return "cluster_peer_up_" + id }
+func mRingShare(id string) string    { return "cluster_ring_share_" + id }
 
 // latencyBucketsUS are the request-latency buckets of the service's
 // histograms: loopback API calls sit in the tens-to-hundreds of

@@ -26,6 +26,10 @@ func TestMetricsExpositionGolden(t *testing.T) {
 		mLayoutsRecovered, mJobsRecovered, mRecoverySkipped,
 		mPanics, mShedRequests, mRetryShed, mBreakerOpens,
 		mChaosDelays, mChaosErrors, mChaosDrops, mChaosDiskFaults,
+		mClusterForwardCompile, mClusterJobsPlaced, mClusterJobsProxied,
+		mClusterFills, mClusterFillBuilds, mClusterFillMismatch,
+		mClusterLocalFallback,
+		mPeerRequests("nb"), mPeerErrors("nb"),
 	}
 	for i, name := range counters {
 		m.add(name, int64(i+1))
@@ -35,6 +39,8 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.gauge(mSimShards, 4)
 	m.gauge(mLayoutsResident, 5)
 	m.gauge(mBreakerState, breakerOpen)
+	m.gauge(mPeerUp("nb"), 1)
+	m.gauge(mRingShare("nb"), 0.34)
 	for _, us := range []int64{30, 75, 800, 30000, 2000000} {
 		m.observe("compile", us)
 	}

@@ -6,54 +6,28 @@ import (
 	"flopt/internal/layout"
 	"flopt/internal/linalg"
 	"flopt/internal/poly"
+	"flopt/internal/service/api"
 )
-
-// offsetQuery is one batch item: the file offsets of the index walk
-// start, start+dir, …, start+(count-1)·dir. Count defaults to 1 (a point
-// query, dir optional); every point of the walk must lie inside the
-// array.
-type offsetQuery struct {
-	Start []int64 `json:"start"`
-	Dir   []int64 `json:"dir,omitempty"`
-	Count int64   `json:"count,omitempty"`
-}
-
-// segJSON mirrors layout.Seg: offsets k = 0 … count-1 are start+k·stride.
-type segJSON struct {
-	Start  int64 `json:"start"`
-	Stride int64 `json:"stride"`
-	Count  int64 `json:"count"`
-}
-
-// offsetResult is the answer to one query: the walk decomposed into
-// maximal affine segments. Strided reports whether the layout's
-// closed-form Strider path produced them (O(segments)); false means the
-// per-element fallback walked and merged (O(count), charged against the
-// request's walk budget).
-type offsetResult struct {
-	Segs    []segJSON `json:"segs"`
-	Strided bool      `json:"strided"`
-}
 
 // resolveQuery validates q against array a and answers it under l.
 // walkBudget is the remaining per-request element budget for non-strided
 // layouts; the returned int64 is the budget consumed.
-func resolveQuery(l layout.Layout, a *poly.Array, q offsetQuery, walkBudget int64) (offsetResult, int64, error) {
+func resolveQuery(l layout.Layout, a *poly.Array, q api.OffsetQuery, walkBudget int64) (api.OffsetResult, int64, error) {
 	count := q.Count
 	if count == 0 {
 		count = 1
 	}
 	if count < 0 {
-		return offsetResult{}, 0, fmt.Errorf("count %d is negative", count)
+		return api.OffsetResult{}, 0, fmt.Errorf("count %d is negative", count)
 	}
 	if len(q.Start) != a.Rank() {
-		return offsetResult{}, 0, fmt.Errorf("start has %d coordinates, array %s has rank %d", len(q.Start), a.Name, a.Rank())
+		return api.OffsetResult{}, 0, fmt.Errorf("start has %d coordinates, array %s has rank %d", len(q.Start), a.Name, a.Rank())
 	}
 	if q.Dir != nil && len(q.Dir) != a.Rank() {
-		return offsetResult{}, 0, fmt.Errorf("dir has %d coordinates, array %s has rank %d", len(q.Dir), a.Name, a.Rank())
+		return api.OffsetResult{}, 0, fmt.Errorf("dir has %d coordinates, array %s has rank %d", len(q.Dir), a.Name, a.Rank())
 	}
 	if count > 1 && q.Dir == nil {
-		return offsetResult{}, 0, fmt.Errorf("count %d needs a dir", count)
+		return api.OffsetResult{}, 0, fmt.Errorf("count %d needs a dir", count)
 	}
 	start := linalg.Vec(q.Start)
 	dir := make(linalg.Vec, a.Rank())
@@ -63,20 +37,20 @@ func resolveQuery(l layout.Layout, a *poly.Array, q offsetQuery, walkBudget int6
 	for d := 0; d < a.Rank(); d++ {
 		end := start[d] + (count-1)*dir[d]
 		if start[d] < 0 || start[d] >= a.Dims[d] || end < 0 || end >= a.Dims[d] {
-			return offsetResult{}, 0, fmt.Errorf("walk leaves array %s on dimension %d: %d..%d outside [0,%d)",
+			return api.OffsetResult{}, 0, fmt.Errorf("walk leaves array %s on dimension %d: %d..%d outside [0,%d)",
 				a.Name, d, start[d], end, a.Dims[d])
 		}
 	}
 
 	if s, ok := l.(layout.Strider); ok && s.CanStride(dir) {
 		segs := s.AppendSegs(nil, start, dir, count)
-		return offsetResult{Segs: toSegJSON(segs), Strided: true}, 0, nil
+		return api.OffsetResult{Segs: toAPISegs(segs), Strided: true}, 0, nil
 	}
 	if count > walkBudget {
-		return offsetResult{}, 0, fmt.Errorf("layout %s has no closed form along dir %v and count %d exceeds the remaining walk budget %d",
+		return api.OffsetResult{}, 0, fmt.Errorf("layout %s has no closed form along dir %v and count %d exceeds the remaining walk budget %d",
 			l.Name(), q.Dir, count, walkBudget)
 	}
-	return offsetResult{Segs: toSegJSON(walkSegs(l, start, dir, count))}, count, nil
+	return api.OffsetResult{Segs: toAPISegs(walkSegs(l, start, dir, count))}, count, nil
 }
 
 // walkSegs is the per-element fallback: it evaluates Offset along the
@@ -108,10 +82,10 @@ func walkSegs(l layout.Layout, start, dir linalg.Vec, count int64) []layout.Seg 
 	return append(segs, cur)
 }
 
-func toSegJSON(segs []layout.Seg) []segJSON {
-	out := make([]segJSON, len(segs))
+func toAPISegs(segs []layout.Seg) []api.Seg {
+	out := make([]api.Seg, len(segs))
 	for i, s := range segs {
-		out[i] = segJSON{Start: s.Start, Stride: s.Stride, Count: s.Count}
+		out[i] = api.Seg{Start: s.Start, Stride: s.Stride, Count: s.Count}
 	}
 	return out
 }

@@ -9,14 +9,14 @@ import (
 	"path/filepath"
 	"sync"
 
-	"flopt/internal/sim"
+	"flopt/internal/service/api"
 )
 
 // Durability layer: floptd's state — the compiled-layout catalog and the
 // accepted-simulate-job ledger — survives crashes through two journals
 // rooted at Config.DataDir:
 //
-//	layouts.snap  snapshot: one layoutRecord per resident layout (JSONL)
+//	layouts.snap  snapshot: one api.LayoutRecord per resident layout (JSONL)
 //	layouts.wal   write-ahead journal of compiles since the snapshot
 //	jobs.wal      job journal: accept / start / done records (JSONL)
 //
@@ -42,14 +42,11 @@ const (
 	jobWALFile     = "jobs.wal"
 )
 
-// layoutRecord journals one compiled layout by its inputs. Config holds
-// every field the optimizer (and the content hash) consults; replay
-// applies it over the daemon's base platform and recompiles.
-type layoutRecord struct {
-	ID     string        `json:"id"`
-	Source string        `json:"source"`
-	Config *platformJSON `json:"config,omitempty"`
-}
+// Layout records are journaled in their wire form (api.LayoutRecord):
+// the inputs only. Config holds every field the optimizer (and the
+// content hash) consults; replay applies it over the daemon's base
+// platform and recompiles — the same record a cluster peer fetches over
+// GET /v1/layouts/{id} for a cache fill.
 
 // Job journal ops, in lifecycle order. "start" records are forensic
 // (they distinguish lost-from-queue from lost-mid-run in a post-mortem);
@@ -62,12 +59,12 @@ const (
 
 // jobRecord is one job-journal line.
 type jobRecord struct {
-	Op     string           `json:"op"`
-	ID     string           `json:"id"`
-	Layout string           `json:"layout,omitempty"`
-	Req    *simulateRequest `json:"req,omitempty"`
-	State  string           `json:"state,omitempty"` // done | failed, op=done only
-	Err    string           `json:"err,omitempty"`
+	Op     string               `json:"op"`
+	ID     string               `json:"id"`
+	Layout string               `json:"layout,omitempty"`
+	Req    *api.SimulateRequest `json:"req,omitempty"`
+	State  string               `json:"state,omitempty"` // done | failed, op=done only
+	Err    string               `json:"err,omitempty"`
 }
 
 // errJournal marks journal write failures (including chaos-injected disk
@@ -158,7 +155,7 @@ func (p *persister) appendRecord(f *os.File, v any) error {
 
 // appendLayout journals one compiled layout. No-ops while replaying
 // (recovery re-runs the same build path that journals live compiles).
-func (p *persister) appendLayout(rec layoutRecord) error {
+func (p *persister) appendLayout(rec api.LayoutRecord) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.replaying || p.closed {
@@ -237,17 +234,17 @@ func readJSONL[T any](path string) ([]T, error) {
 // loadLayouts returns the journaled layout set: snapshot then WAL,
 // deduplicated by ID with first-occurrence order preserved (order
 // matters: the LRU replays oldest-first so recency survives restarts).
-func (p *persister) loadLayouts() ([]layoutRecord, error) {
-	snap, err := readJSONL[layoutRecord](filepath.Join(p.dir, layoutSnapFile))
+func (p *persister) loadLayouts() ([]api.LayoutRecord, error) {
+	snap, err := readJSONL[api.LayoutRecord](filepath.Join(p.dir, layoutSnapFile))
 	if err != nil {
 		return nil, err
 	}
-	wal, err := readJSONL[layoutRecord](filepath.Join(p.dir, layoutWALFile))
+	wal, err := readJSONL[api.LayoutRecord](filepath.Join(p.dir, layoutWALFile))
 	if err != nil {
 		return nil, err
 	}
 	seen := make(map[string]bool, len(snap)+len(wal))
-	out := make([]layoutRecord, 0, len(snap)+len(wal))
+	out := make([]api.LayoutRecord, 0, len(snap)+len(wal))
 	for _, rec := range append(snap, wal...) {
 		if rec.ID == "" || seen[rec.ID] {
 			continue
@@ -366,20 +363,4 @@ func (p *persister) close() error {
 		return err1
 	}
 	return err2
-}
-
-// platformOverrides captures cfg's layout-relevant fields as a full
-// override set, so applying it over any base platform reproduces the
-// compile-relevant configuration (and therefore the content hash).
-func platformOverrides(cfg sim.Config) *platformJSON {
-	return &platformJSON{
-		ComputeNodes:       cfg.ComputeNodes,
-		IONodes:            cfg.IONodes,
-		StorageNodes:       cfg.StorageNodes,
-		ThreadsPerCompute:  cfg.ThreadsPerCompute,
-		BlockElems:         cfg.BlockElems,
-		IOCacheBlocks:      cfg.IOCacheBlocks,
-		StorageCacheBlocks: cfg.StorageCacheBlocks,
-		Policy:             cfg.Policy,
-	}
 }

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"flopt/internal/service/api"
 )
 
 // startDurable builds a server rooted at dir without the automatic
@@ -51,8 +53,8 @@ func TestLayoutRecoveryAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
 	a, tsA := startDurable(t, dir, nil)
 	first := compileTestProg(t, tsA)
-	var swim compileResponse
-	if code, body := postJSON(t, tsA.URL+"/v1/compile", compileRequest{Workload: "swim"}, &swim); code != http.StatusOK {
+	var swim api.CompileResponse
+	if code, body := postJSON(t, tsA.URL+"/v1/compile", api.CompileRequest{Workload: "swim"}, &swim); code != http.StatusOK {
 		t.Fatalf("compile swim: %d: %s", code, body)
 	}
 	stopDurable(t, a, tsA)
@@ -75,9 +77,9 @@ func TestLayoutRecoveryAcrossRestart(t *testing.T) {
 			again.Cached, again.LayoutID, first.LayoutID)
 	}
 	// The recovered layout answers offset queries without recompiling.
-	var off offsetsResponse
+	var off api.OffsetsResponse
 	code, body := postJSON(t, tsB.URL+"/v1/layouts/"+first.LayoutID+"/offsets",
-		offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}}}, &off)
+		api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}}}, &off)
 	if code != http.StatusOK {
 		t.Fatalf("offsets against recovered layout: %d: %s", code, body)
 	}
@@ -90,11 +92,11 @@ func TestUnfinishedJobRerunsAfterRestart(t *testing.T) {
 	dir := t.TempDir()
 	a, tsA := startDurable(t, dir, nil)
 	comp := compileTestProg(t, tsA)
-	var sub jobResponse
-	if code, body := postJSON(t, tsA.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
+	var sub api.JobResponse
+	if code, body := postJSON(t, tsA.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
 		t.Fatalf("simulate: %d: %s", code, body)
 	}
-	if j := waitJob(t, tsA, sub.JobID); j.State != jobDone {
+	if j := waitJob(t, tsA, sub.JobID); j.State != api.JobDone {
 		t.Fatalf("job = %+v", j)
 	}
 	stopDurable(t, a, tsA)
@@ -130,7 +132,7 @@ func TestUnfinishedJobRerunsAfterRestart(t *testing.T) {
 		t.Errorf("jobs recovered = %d, want 1", got)
 	}
 	j := waitJob(t, tsB, sub.JobID)
-	if j.State != jobDone || j.Report == nil {
+	if j.State != api.JobDone || j.Report == nil {
 		t.Fatalf("re-run job = %+v", j)
 	}
 }
@@ -145,7 +147,7 @@ func TestJournalWriteFailureRejects(t *testing.T) {
 
 	// A compile whose record cannot be journaled is rejected and NOT
 	// cached: clients must never hold an ID a crash could lose.
-	code, body := postJSON(t, ts.URL+"/v1/compile", compileRequest{Workload: "mgrid"}, nil)
+	code, body := postJSON(t, ts.URL+"/v1/compile", api.CompileRequest{Workload: "mgrid"}, nil)
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, "not durable") {
 		t.Errorf("compile under journal failure: %d %s", code, body)
 	}
@@ -153,7 +155,7 @@ func TestJournalWriteFailureRejects(t *testing.T) {
 		t.Errorf("resident after rejected compile = %d, want 1", got)
 	}
 	// A simulate whose accept record cannot be journaled is not accepted.
-	code, body = postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, nil)
+	code, body = postJSON(t, ts.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, nil)
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, "not durable") {
 		t.Errorf("simulate under journal failure: %d %s", code, body)
 	}
@@ -166,11 +168,11 @@ func TestJournalWriteFailureRejects(t *testing.T) {
 
 	// Journal heals: both paths flow again.
 	s.persist.setFailWrite(nil)
-	if code, body := postJSON(t, ts.URL+"/v1/compile", compileRequest{Workload: "mgrid"}, nil); code != http.StatusOK {
+	if code, body := postJSON(t, ts.URL+"/v1/compile", api.CompileRequest{Workload: "mgrid"}, nil); code != http.StatusOK {
 		t.Errorf("compile after heal: %d %s", code, body)
 	}
-	var sub jobResponse
-	if code, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
+	var sub api.JobResponse
+	if code, body := postJSON(t, ts.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
 		t.Errorf("simulate after heal: %d %s", code, body)
 	} else {
 		waitJob(t, ts, sub.JobID)
@@ -188,8 +190,8 @@ func TestDrainThenRestartReachesTerminalStates(t *testing.T) {
 	comp := compileTestProg(t, tsA)
 	var ids []string
 	for i := 0; i < 6; i++ {
-		var sub jobResponse
-		code, body := postJSON(t, tsA.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub)
+		var sub api.JobResponse
+		code, body := postJSON(t, tsA.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, &sub)
 		if code != http.StatusAccepted {
 			t.Fatalf("submit %d: %d: %s", i, code, body)
 		}
@@ -205,13 +207,13 @@ func TestDrainThenRestartReachesTerminalStates(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var jr jobResponse
+		var jr api.JobResponse
 		err = json.NewDecoder(resp.Body).Decode(&jr)
 		resp.Body.Close()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if resp.StatusCode != http.StatusOK || jr.State != jobDone {
+		if resp.StatusCode != http.StatusOK || jr.State != api.JobDone {
 			t.Errorf("job %s after restart: status %d state %q, want done", id, resp.StatusCode, jr.State)
 		}
 	}
@@ -220,8 +222,8 @@ func TestDrainThenRestartReachesTerminalStates(t *testing.T) {
 	}
 	// The ID sequence resumes past the recovered records: a new
 	// submission must not collide with a pre-restart ID.
-	var sub jobResponse
-	if code, body := postJSON(t, tsB.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
+	var sub api.JobResponse
+	if code, body := postJSON(t, tsB.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, &sub); code != http.StatusAccepted {
 		t.Fatalf("post-restart submit: %d: %s", code, body)
 	}
 	for _, id := range ids {
@@ -266,13 +268,13 @@ func TestRecoverySkipsStaleRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var jr jobResponse
+	var jr api.JobResponse
 	err = json.NewDecoder(resp.Body).Decode(&jr)
 	resp.Body.Close()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if jr.State != jobFailed || !strings.Contains(jr.Error, "not recovered") {
+	if jr.State != api.JobFailed || !strings.Contains(jr.Error, "not recovered") {
 		t.Errorf("orphaned job = %+v, want failed/not recovered", jr)
 	}
 }
@@ -284,7 +286,7 @@ func TestPersisterSnapshotCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, id := range []string{"ly1", "ly2", "ly3", "ly1", "ly4"} {
-		if err := p.appendLayout(layoutRecord{ID: id, Source: fmt.Sprintf("s%d", i)}); err != nil {
+		if err := p.appendLayout(api.LayoutRecord{ID: id, Source: fmt.Sprintf("s%d", i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -311,7 +313,7 @@ func TestPersisterSnapshotCompaction(t *testing.T) {
 	}
 	// New appends land in the WAL on top of the snapshot, and a reopened
 	// persister counts them toward the next snapshot trigger.
-	if err := p.appendLayout(layoutRecord{ID: "ly5", Source: "s5"}); err != nil {
+	if err := p.appendLayout(api.LayoutRecord{ID: "ly5", Source: "s5"}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.close(); err != nil {

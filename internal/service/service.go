@@ -28,6 +28,7 @@ import (
 
 	"flopt"
 	"flopt/internal/poly"
+	"flopt/internal/service/api"
 	"flopt/internal/sim"
 	"flopt/internal/version"
 	"flopt/internal/workloads"
@@ -84,6 +85,11 @@ type Config struct {
 	// (0, 1]; ChaosSeed fixes its decision stream.
 	ChaosIntensity float64
 	ChaosSeed      int64
+	// Cluster, when set, makes this daemon one member of a static
+	// roster: layout IDs route to owners over a consistent-hash ring,
+	// offset misses fill from peers, and simulate jobs place onto the
+	// least-loaded member. Nil runs the classic single-node daemon.
+	Cluster *ClusterConfig
 }
 
 // DefaultServerConfig returns the sizing floptd starts with.
@@ -118,6 +124,7 @@ type Server struct {
 	chaos      *chaos
 	breaker    *breaker
 	retry      *retryBudget
+	clu        *clusterNode // nil outside cluster mode
 	mux        *http.ServeMux
 	handler    http.Handler
 	start      time.Time
@@ -154,10 +161,25 @@ func New(cfg Config) (*Server, error) {
 			p.failWrite = s.chaos.diskFault
 		}
 	}
+	var idPrefix string
+	if cfg.Cluster != nil {
+		cn, err := newClusterNode(*cfg.Cluster, 4*cfg.CacheEntries, s.met)
+		if err != nil {
+			if s.persist != nil {
+				s.persist.close()
+			}
+			return nil, err
+		}
+		s.clu = cn
+		// Namespace job IDs by node ("job-<node>-<n>") so any member can
+		// route a status poll to the node running the job.
+		idPrefix = cfg.Cluster.Self + "-"
+	}
 	s.jobs = newJobPool(jobPoolConfig{
 		workers:    cfg.Workers,
 		queueDepth: cfg.QueueDepth,
 		maxJobs:    cfg.RetainedJobs,
+		idPrefix:   idPrefix,
 		timeout:    cfg.SimTimeout,
 		met:        s.met,
 		run:        s.runJob,
@@ -166,9 +188,11 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.instrument("compile", s.handleCompile))
+	s.mux.HandleFunc("GET /v1/layouts/{id}", s.instrument("layouts", s.handleLayoutRecord))
 	s.mux.HandleFunc("POST /v1/layouts/{id}/offsets", s.instrument("offsets", s.handleOffsets))
 	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", s.handleSimulate))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /v1/cluster/status", s.instrument("cluster", s.handleClusterStatus))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.handler = s.withMiddleware(s.mux)
@@ -177,6 +201,11 @@ func New(cfg Config) (*Server, error) {
 			s.persist.close()
 			return nil, err
 		}
+	}
+	if s.clu != nil {
+		// Gossip starts after recovery so the first load snapshot peers
+		// see already reflects the re-enqueued backlog.
+		s.clu.startGossip(s.selfLoad)
 	}
 	return s, nil
 }
@@ -194,6 +223,9 @@ func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
 // data dir). Call after Drain; the journals then hold a terminal record
 // for every retained job and a snapshot of the resident layout catalog.
 func (s *Server) Close() error {
+	if s.clu != nil {
+		s.clu.stopGossip()
+	}
 	if s.persist == nil {
 		return nil
 	}
@@ -228,7 +260,7 @@ func (s *Server) recoverState() error {
 	s.persist.setReplaying(true)
 	recovered := 0
 	for _, rec := range recs {
-		cfg := rec.Config.apply(s.cfg.Platform)
+		cfg := rec.Config.Apply(s.cfg.Platform)
 		if err := cfg.Validate(); err != nil {
 			s.met.inc(mRecoverySkipped)
 			continue
@@ -288,7 +320,7 @@ func (s *Server) recoverState() error {
 			// The job's layout did not survive replay (skipped record or
 			// LRU pressure during recovery): terminal failure beats a
 			// job stuck queued forever.
-			j.state = jobFailed
+			j.state = api.JobFailed
 			j.errMsg = fmt.Sprintf("layout %s not recovered after restart", j.layoutID)
 			j.doneAt = time.Now()
 			s.jobs.restore(j)
@@ -313,124 +345,6 @@ func (s *Server) recoverState() error {
 // Metrics exposes the counter set (tests and floptd logging).
 func (s *Server) Metrics() *metrics { return s.met }
 
-// ---- JSON wire types ----
-
-// platformJSON is the per-request platform override set; zero fields
-// keep the server's base platform value.
-type platformJSON struct {
-	ComputeNodes       int    `json:"compute_nodes,omitempty"`
-	IONodes            int    `json:"io_nodes,omitempty"`
-	StorageNodes       int    `json:"storage_nodes,omitempty"`
-	ThreadsPerCompute  int    `json:"threads_per_compute,omitempty"`
-	BlockElems         int64  `json:"block_elems,omitempty"`
-	IOCacheBlocks      int    `json:"io_cache_blocks,omitempty"`
-	StorageCacheBlocks int    `json:"storage_cache_blocks,omitempty"`
-	Policy             string `json:"policy,omitempty"`
-}
-
-func (o *platformJSON) apply(cfg sim.Config) sim.Config {
-	if o == nil {
-		return cfg
-	}
-	if o.ComputeNodes > 0 {
-		cfg.ComputeNodes = o.ComputeNodes
-	}
-	if o.IONodes > 0 {
-		cfg.IONodes = o.IONodes
-	}
-	if o.StorageNodes > 0 {
-		cfg.StorageNodes = o.StorageNodes
-	}
-	if o.ThreadsPerCompute > 0 {
-		cfg.ThreadsPerCompute = o.ThreadsPerCompute
-	}
-	if o.BlockElems > 0 {
-		cfg.BlockElems = o.BlockElems
-	}
-	if o.IOCacheBlocks > 0 {
-		cfg.IOCacheBlocks = o.IOCacheBlocks
-	}
-	if o.StorageCacheBlocks > 0 {
-		cfg.StorageCacheBlocks = o.StorageCacheBlocks
-	}
-	if o.Policy != "" {
-		cfg.Policy = o.Policy
-	}
-	return cfg
-}
-
-type compileRequest struct {
-	// Source is the mini-language program; Workload selects a built-in
-	// benchmark instead. Exactly one must be set.
-	Source   string        `json:"source,omitempty"`
-	Workload string        `json:"workload,omitempty"`
-	Config   *platformJSON `json:"config,omitempty"`
-}
-
-type arrayInfo struct {
-	Dims      []int64 `json:"dims"`
-	Layout    string  `json:"layout"`
-	FileElems int64   `json:"file_elems"`
-	Optimized bool    `json:"optimized"`
-}
-
-type compileResponse struct {
-	LayoutID    string               `json:"layout_id"`
-	Cached      bool                 `json:"cached"`
-	Pattern     string               `json:"pattern"`
-	Arrays      map[string]arrayInfo `json:"arrays"`
-	Optimized   int                  `json:"optimized"`
-	TotalArrays int                  `json:"total_arrays"`
-}
-
-type offsetsRequest struct {
-	Array   string        `json:"array"`
-	Queries []offsetQuery `json:"queries"`
-}
-
-type offsetsResponse struct {
-	LayoutID  string         `json:"layout_id"`
-	Array     string         `json:"array"`
-	FileElems int64          `json:"file_elems"`
-	Results   []offsetResult `json:"results"`
-}
-
-type simulateRequest struct {
-	LayoutID string `json:"layout_id"`
-	// Optimized selects the compiled layouts (default true); false runs
-	// the row-major default execution for comparison.
-	Optimized *bool   `json:"optimized,omitempty"`
-	Policy    string  `json:"policy,omitempty"`
-	Faults    float64 `json:"faults,omitempty"`
-	Seed      int64   `json:"seed,omitempty"`
-}
-
-// simReport is the job result: the execution report projected to its
-// serving-relevant fields.
-type simReport struct {
-	ExecTimeUS       int64   `json:"exec_time_us"`
-	Accesses         int64   `json:"accesses"`
-	DiskReads        int64   `json:"disk_reads"`
-	IOMissPct        float64 `json:"io_miss_pct"`
-	StorageMissPct   float64 `json:"storage_miss_pct"`
-	Policy           string  `json:"policy"`
-	Retries          int64   `json:"retries,omitempty"`
-	Timeouts         int64   `json:"timeouts,omitempty"`
-	DegradedReads    int64   `json:"degraded_reads,omitempty"`
-	FailedOverBlocks int64   `json:"failed_over_blocks,omitempty"`
-}
-
-type jobResponse struct {
-	JobID  string     `json:"job_id"`
-	State  string     `json:"state"`
-	Report *simReport `json:"report,omitempty"`
-	Error  string     `json:"error,omitempty"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // ---- handlers ----
 
 // instrument wraps a handler with the request counter and the per-route
@@ -450,9 +364,21 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// fail writes the v1 error envelope for status with no retry hint.
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.failEnvelope(w, status, 0, fmt.Sprintf(format, args...))
+}
+
+// failEnvelope is the single place an error response is rendered: every
+// failure, whatever its origin, leaves as the api.Error envelope
+// {error, code, retry_after_s} (the retry hint is mirrored into the
+// Retry-After header when positive).
+func (s *Server) failEnvelope(w http.ResponseWriter, status, retryAfter int, msg string) {
 	s.met.inc(mHTTPErrors)
-	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfter))
+	}
+	s.writeJSON(w, status, api.Error{Message: msg, Code: api.CodeForStatus(status), RetryAfterS: retryAfter})
 }
 
 // decode parses the JSON body into v under the body-size cap.
@@ -467,7 +393,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.met.inc(mCompileRequests)
-	var req compileRequest
+	var req api.CompileRequest
 	if !s.decode(w, r, &req) {
 		s.met.inc(mCompileErrors)
 		return
@@ -491,11 +417,20 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "set exactly one of source and workload")
 		return
 	}
-	cfg := req.Config.apply(s.cfg.Platform)
+	cfg := req.Config.Apply(s.cfg.Platform)
 	if err := cfg.Validate(); err != nil {
 		s.met.inc(mCompileErrors)
 		s.fail(w, http.StatusBadRequest, "invalid config: %v", err)
 		return
+	}
+
+	// Cluster routing: a non-owner forwards the compile to the layout's
+	// ring owner (the cluster-wide singleflight), unless the request
+	// already crossed the cluster once or the owner is unreachable.
+	if s.clusterEnabled() {
+		if _, fromPeer := forwarded(r); !fromPeer && s.forwardCompile(r.Context(), w, source, req.Config, cfg) {
+			return
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.CompileWait)
@@ -529,16 +464,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	s.maybeSnapshot()
 
-	resp := compileResponse{
+	resp := api.CompileResponse{
 		LayoutID: ent.ID,
 		Cached:   cached,
 		Pattern:  ent.Result.Pattern.String(),
-		Arrays:   make(map[string]arrayInfo, len(ent.Program.Arrays)),
+		Arrays:   make(map[string]api.ArrayInfo, len(ent.Program.Arrays)),
+		Node:     s.nodeID(),
 	}
 	for _, a := range ent.Program.Arrays {
 		l := ent.Result.Layouts[a.Name]
 		tr := ent.Result.Transforms[a.Name]
-		resp.Arrays[a.Name] = arrayInfo{
+		resp.Arrays[a.Name] = api.ArrayInfo{
 			Dims:      a.Dims,
 			Layout:    l.Name(),
 			FileElems: l.SizeElems(),
@@ -568,7 +504,7 @@ func (s *Server) build(source string, cfg sim.Config) (*compiled, error) {
 		ent.arrays[a.Name] = a
 	}
 	if s.persist != nil {
-		rec := layoutRecord{ID: layoutID(source, cfg), Source: source, Config: platformOverrides(cfg)}
+		rec := api.LayoutRecord{ID: layoutID(source, cfg), Source: source, Config: api.FromConfig(cfg)}
 		if err := s.persist.appendLayout(rec); err != nil {
 			return nil, err
 		}
@@ -597,13 +533,13 @@ func (s *Server) maybeSnapshot() {
 func (s *Server) handleOffsets(w http.ResponseWriter, r *http.Request) {
 	s.met.inc(mOffsetsRequests)
 	id := r.PathValue("id")
-	ent, ok := s.cache.lookup(id)
-	if !ok {
+	ent, filled, err := s.lookupOrFill(r.Context(), id)
+	if err != nil {
 		s.met.inc(mOffsetsErrors)
-		s.fail(w, http.StatusNotFound, "unknown layout %q (evicted or never compiled: re-POST /v1/compile — identical programs get identical IDs)", id)
+		s.failErr(w, err)
 		return
 	}
-	var req offsetsRequest
+	var req api.OffsetsRequest
 	if !s.decode(w, r, &req) {
 		s.met.inc(mOffsetsErrors)
 		return
@@ -619,8 +555,8 @@ func (s *Server) handleOffsets(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "empty query batch")
 		return
 	}
-	resp := offsetsResponse{LayoutID: id, Array: req.Array, FileElems: l.SizeElems(),
-		Results: make([]offsetResult, len(req.Queries))}
+	resp := api.OffsetsResponse{LayoutID: id, Array: req.Array, FileElems: l.SizeElems(),
+		Results: make([]api.OffsetResult, len(req.Queries)), Filled: filled}
 	budget := s.cfg.WalkBudget
 	var queries, segs, strided, walked int64
 	for i, q := range req.Queries {
@@ -664,13 +600,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			"simulate circuit open: recent jobs failed, shedding until a probe succeeds"))
 		return
 	}
-	var req simulateRequest
+	var req api.SimulateRequest
 	if !s.decode(w, r, &req) {
 		return
 	}
-	ent, ok := s.cache.lookup(req.LayoutID)
-	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown layout %q", req.LayoutID)
+	// Cluster placement: a first-touch submission goes to the
+	// least-loaded member (gossiped backlog, ties toward self); a
+	// peer-forwarded one runs here unconditionally.
+	if s.clusterEnabled() {
+		if _, fromPeer := forwarded(r); !fromPeer && s.forwardSimulate(w, r, &req) {
+			return
+		}
+	}
+	ent, _, err := s.lookupOrFill(r.Context(), req.LayoutID)
+	if err != nil {
+		s.failErr(w, err)
 		return
 	}
 	// Config.Validate covers the numeric fields; the policy is resolved
@@ -712,11 +656,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.inc(mJobsSubmitted)
 	w.Header().Set("Location", "/v1/jobs/"+id)
-	s.writeJSON(w, http.StatusAccepted, jobResponse{JobID: id, State: jobQueued})
+	s.writeJSON(w, http.StatusAccepted, api.JobResponse{JobID: id, State: api.JobQueued, Node: s.nodeID()})
 }
 
 // runJob executes one simulation job through the public Run API.
-func (s *Server) runJob(ctx context.Context, j *job) (*simReport, error) {
+func (s *Server) runJob(ctx context.Context, j *job) (*api.SimReport, error) {
 	cfg := j.ent.Cfg
 	if j.req.Policy != "" {
 		cfg.Policy = j.req.Policy
@@ -732,7 +676,7 @@ func (s *Server) runJob(ctx context.Context, j *job) (*simReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &simReport{
+	return &api.SimReport{
 		ExecTimeUS:       rep.ExecTimeUS,
 		Accesses:         rep.Accesses,
 		DiskReads:        rep.DiskReads,
@@ -750,10 +694,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.jobs.status(id)
 	if !ok {
+		// Cluster mode: the node that runs a job is embedded in its ID
+		// ("job-<node>-<n>"), so any member can serve the poll by proxy.
+		if s.clusterEnabled() {
+			if _, fromPeer := forwarded(r); !fromPeer && s.proxyJobStatus(w, r, id) {
+				return
+			}
+		}
 		s.fail(w, http.StatusNotFound, "unknown job %q", id)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, jobResponse{JobID: j.id, State: j.state, Report: j.report, Error: j.errMsg})
+	s.writeJSON(w, http.StatusOK, api.JobResponse{JobID: j.id, State: j.state, Report: j.report, Error: j.errMsg, Node: s.nodeID()})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

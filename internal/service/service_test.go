@@ -16,6 +16,7 @@ import (
 	"flopt/internal/layout"
 	"flopt/internal/linalg"
 	"flopt/internal/poly"
+	"flopt/internal/service/api"
 )
 
 // testProg reads A transposed (optimizable) and B row-friendly; small
@@ -79,10 +80,10 @@ func postJSON(t *testing.T, url string, body any, out any) (int, string) {
 	return resp.StatusCode, buf.String()
 }
 
-func compileTestProg(t *testing.T, ts *httptest.Server) compileResponse {
+func compileTestProg(t *testing.T, ts *httptest.Server) api.CompileResponse {
 	t.Helper()
-	var resp compileResponse
-	code, body := postJSON(t, ts.URL+"/v1/compile", compileRequest{Source: testProg}, &resp)
+	var resp api.CompileResponse
+	code, body := postJSON(t, ts.URL+"/v1/compile", api.CompileRequest{Source: testProg}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("compile: status %d: %s", code, body)
 	}
@@ -112,9 +113,9 @@ func TestCompileDedupAndShape(t *testing.T) {
 		t.Errorf("compile builds = %d, want 1", got)
 	}
 	// A different platform must yield a different layout set.
-	var other compileResponse
+	var other api.CompileResponse
 	code, body := postJSON(t, ts.URL+"/v1/compile",
-		compileRequest{Source: testProg, Config: &platformJSON{IOCacheBlocks: 32}}, &other)
+		api.CompileRequest{Source: testProg, Config: &api.PlatformConfig{IOCacheBlocks: 32}}, &other)
 	if code != http.StatusOK {
 		t.Fatalf("compile with overrides: %d: %s", code, body)
 	}
@@ -125,8 +126,8 @@ func TestCompileDedupAndShape(t *testing.T) {
 
 func TestCompileByWorkloadName(t *testing.T) {
 	_, ts := newTestServer(t, nil)
-	var resp compileResponse
-	code, body := postJSON(t, ts.URL+"/v1/compile", compileRequest{Workload: "swim"}, &resp)
+	var resp api.CompileResponse
+	code, body := postJSON(t, ts.URL+"/v1/compile", api.CompileRequest{Workload: "swim"}, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("workload compile: %d: %s", code, body)
 	}
@@ -139,15 +140,15 @@ func TestCompileErrors(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	cases := []struct {
 		name string
-		req  compileRequest
+		req  api.CompileRequest
 		want int
 	}{
-		{"empty", compileRequest{}, http.StatusBadRequest},
-		{"both", compileRequest{Source: testProg, Workload: "swim"}, http.StatusBadRequest},
-		{"unknown workload", compileRequest{Workload: "nonesuch"}, http.StatusBadRequest},
-		{"parse error", compileRequest{Source: "array A[4]; garbage"}, http.StatusBadRequest},
-		{"semantic error", compileRequest{Source: "array A[4];\nparallel(i) for i = 0 to 3 { read A[i][i]; }"}, http.StatusBadRequest},
-		{"bad config", compileRequest{Source: testProg, Config: &platformJSON{ComputeNodes: 7}}, http.StatusBadRequest},
+		{"empty", api.CompileRequest{}, http.StatusBadRequest},
+		{"both", api.CompileRequest{Source: testProg, Workload: "swim"}, http.StatusBadRequest},
+		{"unknown workload", api.CompileRequest{Workload: "nonesuch"}, http.StatusBadRequest},
+		{"parse error", api.CompileRequest{Source: "array A[4]; garbage"}, http.StatusBadRequest},
+		{"semantic error", api.CompileRequest{Source: "array A[4];\nparallel(i) for i = 0 to 3 { read A[i][i]; }"}, http.StatusBadRequest},
+		{"bad config", api.CompileRequest{Source: testProg, Config: &api.PlatformConfig{ComputeNodes: 7}}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		if code, body := postJSON(t, ts.URL+"/v1/compile", tc.req, nil); code != tc.want {
@@ -165,7 +166,7 @@ func TestCompileErrors(t *testing.T) {
 	}
 }
 
-func expandSegs(r offsetResult) []int64 {
+func expandSegs(r api.OffsetResult) []int64 {
 	var out []int64
 	for _, s := range r.Segs {
 		for k := int64(0); k < s.Count; k++ {
@@ -181,17 +182,17 @@ func TestOffsetsBatchMatchesPointQueries(t *testing.T) {
 	url := ts.URL + "/v1/layouts/" + comp.LayoutID + "/offsets"
 	for _, array := range []string{"A", "B"} {
 		for _, dir := range [][]int64{{0, 1}, {1, 0}} {
-			batch := offsetsRequest{Array: array, Queries: []offsetQuery{{Start: []int64{0, 0}, Dir: dir, Count: 64}}}
-			var batchResp offsetsResponse
+			batch := api.OffsetsRequest{Array: array, Queries: []api.OffsetQuery{{Start: []int64{0, 0}, Dir: dir, Count: 64}}}
+			var batchResp api.OffsetsResponse
 			if code, body := postJSON(t, url, batch, &batchResp); code != http.StatusOK {
 				t.Fatalf("%s dir %v: %d: %s", array, dir, code, body)
 			}
-			points := offsetsRequest{Array: array}
+			points := api.OffsetsRequest{Array: array}
 			for k := int64(0); k < 64; k++ {
 				points.Queries = append(points.Queries,
-					offsetQuery{Start: []int64{dir[0] * k, dir[1] * k}})
+					api.OffsetQuery{Start: []int64{dir[0] * k, dir[1] * k}})
 			}
-			var pointResp offsetsResponse
+			var pointResp api.OffsetsResponse
 			if code, body := postJSON(t, url, points, &pointResp); code != http.StatusOK {
 				t.Fatalf("%s points: %d: %s", array, code, body)
 			}
@@ -215,20 +216,20 @@ func TestOffsetsErrors(t *testing.T) {
 	url := ts.URL + "/v1/layouts/" + comp.LayoutID + "/offsets"
 
 	if code, _ := postJSON(t, ts.URL+"/v1/layouts/ly0000000000000000/offsets",
-		offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}}}}, nil); code != http.StatusNotFound {
+		api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 0}}}}, nil); code != http.StatusNotFound {
 		t.Errorf("unknown layout: status %d", code)
 	}
 	cases := []struct {
 		name string
-		req  offsetsRequest
+		req  api.OffsetsRequest
 	}{
-		{"unknown array", offsetsRequest{Array: "Z", Queries: []offsetQuery{{Start: []int64{0, 0}}}}},
-		{"empty batch", offsetsRequest{Array: "A"}},
-		{"rank mismatch", offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0}}}}},
-		{"out of bounds", offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 64}}}}},
-		{"walk escapes", offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 60}, Dir: []int64{0, 1}, Count: 8}}}},
-		{"count without dir", offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}, Count: 8}}}},
-		{"negative count", offsetsRequest{Array: "A", Queries: []offsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: -2}}}},
+		{"unknown array", api.OffsetsRequest{Array: "Z", Queries: []api.OffsetQuery{{Start: []int64{0, 0}}}}},
+		{"empty batch", api.OffsetsRequest{Array: "A"}},
+		{"rank mismatch", api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0}}}}},
+		{"out of bounds", api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 64}}}}},
+		{"walk escapes", api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 60}, Dir: []int64{0, 1}, Count: 8}}}},
+		{"count without dir", api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 0}, Count: 8}}}},
+		{"negative count", api.OffsetsRequest{Array: "A", Queries: []api.OffsetQuery{{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: -2}}}},
 	}
 	for _, tc := range cases {
 		if code, body := postJSON(t, url, tc.req, nil); code != http.StatusBadRequest {
@@ -264,7 +265,7 @@ func TestResolveQueryFallbackAndBudget(t *testing.T) {
 	a := &poly.Array{Name: "A", Dims: []int64{8, 8}}
 	l := flatLayout{dims: a.Dims}
 
-	res, used, err := resolveQuery(l, a, offsetQuery{Start: []int64{2, 0}, Dir: []int64{0, 1}, Count: 8}, 64)
+	res, used, err := resolveQuery(l, a, api.OffsetQuery{Start: []int64{2, 0}, Dir: []int64{0, 1}, Count: 8}, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestResolveQueryFallbackAndBudget(t *testing.T) {
 		t.Errorf("merged segs = %+v", res.Segs)
 	}
 	// Column walk: stride 8 per step, still one merged segment.
-	res, _, err = resolveQuery(l, a, offsetQuery{Start: []int64{0, 3}, Dir: []int64{1, 0}, Count: 8}, 64)
+	res, _, err = resolveQuery(l, a, api.OffsetQuery{Start: []int64{0, 3}, Dir: []int64{1, 0}, Count: 8}, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,12 +287,12 @@ func TestResolveQueryFallbackAndBudget(t *testing.T) {
 		t.Errorf("column segs = %+v", res.Segs)
 	}
 	// Budget exhaustion.
-	if _, _, err := resolveQuery(l, a, offsetQuery{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}, 4); err == nil {
+	if _, _, err := resolveQuery(l, a, api.OffsetQuery{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}, 4); err == nil {
 		t.Error("walk beyond budget accepted")
 	}
 	// The Strider path is exempt from the budget.
 	rm := layout.RowMajor(a)
-	if _, used, err := resolveQuery(rm, a, offsetQuery{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}, 0); err != nil || used != 0 {
+	if _, used, err := resolveQuery(rm, a, api.OffsetQuery{Start: []int64{0, 0}, Dir: []int64{0, 1}, Count: 8}, 0); err != nil || used != 0 {
 		t.Errorf("strided path consumed budget: used=%d err=%v", used, err)
 	}
 }
@@ -300,24 +301,24 @@ func TestSimulateJobLifecycle(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	comp := compileTestProg(t, ts)
 
-	var sub jobResponse
-	code, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: comp.LayoutID}, &sub)
+	var sub api.JobResponse
+	code, body := postJSON(t, ts.URL+"/v1/simulate", api.SimulateRequest{LayoutID: comp.LayoutID}, &sub)
 	if code != http.StatusAccepted {
 		t.Fatalf("simulate: %d: %s", code, body)
 	}
 	job := waitJob(t, ts, sub.JobID)
-	if job.State != jobDone || job.Report == nil {
+	if job.State != api.JobDone || job.Report == nil {
 		t.Fatalf("job = %+v", job)
 	}
 	if job.Report.ExecTimeUS <= 0 || job.Report.Accesses <= 0 {
 		t.Errorf("report = %+v", job.Report)
 	}
 
-	if code, _ := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{LayoutID: "nope"}, nil); code != http.StatusNotFound {
+	if code, _ := postJSON(t, ts.URL+"/v1/simulate", api.SimulateRequest{LayoutID: "nope"}, nil); code != http.StatusNotFound {
 		t.Errorf("unknown layout: status %d", code)
 	}
 	if code, _ := postJSON(t, ts.URL+"/v1/simulate",
-		simulateRequest{LayoutID: comp.LayoutID, Policy: "bogus"}, nil); code != http.StatusBadRequest {
+		api.SimulateRequest{LayoutID: comp.LayoutID, Policy: "bogus"}, nil); code != http.StatusBadRequest {
 		t.Errorf("bad policy: status %d", code)
 	}
 	resp, err := http.Get(ts.URL + "/v1/jobs/job-999")
@@ -335,19 +336,19 @@ func TestSimulateJobLifecycle(t *testing.T) {
 // row-major default execution.
 func TestSimulateOptimizedBeatsDefault(t *testing.T) {
 	_, ts := newTestServer(t, nil)
-	var comp compileResponse
-	if code, body := postJSON(t, ts.URL+"/v1/compile", compileRequest{Workload: "swim"}, &comp); code != http.StatusOK {
+	var comp api.CompileResponse
+	if code, body := postJSON(t, ts.URL+"/v1/compile", api.CompileRequest{Workload: "swim"}, &comp); code != http.StatusOK {
 		t.Fatalf("compile swim: %d: %s", code, body)
 	}
-	runOne := func(optimized bool) *simReport {
-		var sub jobResponse
+	runOne := func(optimized bool) *api.SimReport {
+		var sub api.JobResponse
 		code, body := postJSON(t, ts.URL+"/v1/simulate",
-			simulateRequest{LayoutID: comp.LayoutID, Optimized: &optimized}, &sub)
+			api.SimulateRequest{LayoutID: comp.LayoutID, Optimized: &optimized}, &sub)
 		if code != http.StatusAccepted {
 			t.Fatalf("simulate optimized=%v: %d: %s", optimized, code, body)
 		}
 		j := waitJob(t, ts, sub.JobID)
-		if j.State != jobDone || j.Report == nil {
+		if j.State != api.JobDone || j.Report == nil {
 			t.Fatalf("job optimized=%v = %+v", optimized, j)
 		}
 		return j.Report
@@ -358,7 +359,7 @@ func TestSimulateOptimizedBeatsDefault(t *testing.T) {
 	}
 }
 
-func waitJob(t *testing.T, ts *httptest.Server, id string) jobResponse {
+func waitJob(t *testing.T, ts *httptest.Server, id string) api.JobResponse {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
@@ -366,19 +367,19 @@ func waitJob(t *testing.T, ts *httptest.Server, id string) jobResponse {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var jr jobResponse
+		var jr api.JobResponse
 		err = json.NewDecoder(resp.Body).Decode(&jr)
 		resp.Body.Close()
 		if err != nil {
 			t.Fatal(err)
 		}
-		if jr.State == jobDone || jr.State == jobFailed {
+		if jr.State == api.JobDone || jr.State == api.JobFailed {
 			return jr
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("job %s did not finish", id)
-	return jobResponse{}
+	return api.JobResponse{}
 }
 
 func TestHealthzAndMetrics(t *testing.T) {
@@ -451,7 +452,7 @@ func TestSimWorkersDefaultAndGauge(t *testing.T) {
 }
 
 // stubbedPool builds a jobPool whose run function is the given stub.
-func stubbedPool(workers, depth int, run func(context.Context, *job) (*simReport, error)) *jobPool {
+func stubbedPool(workers, depth int, run func(context.Context, *job) (*api.SimReport, error)) *jobPool {
 	return newJobPool(jobPoolConfig{
 		workers: workers, queueDepth: depth, maxJobs: 16,
 		timeout: time.Minute, met: newMetrics(), run: run,
@@ -461,21 +462,21 @@ func stubbedPool(workers, depth int, run func(context.Context, *job) (*simReport
 func TestJobQueueBackpressure(t *testing.T) {
 	block := make(chan struct{})
 	started := make(chan struct{}, 8)
-	p := stubbedPool(1, 1, func(ctx context.Context, j *job) (*simReport, error) {
+	p := stubbedPool(1, 1, func(ctx context.Context, j *job) (*api.SimReport, error) {
 		started <- struct{}{}
 		<-block
-		return &simReport{}, nil
+		return &api.SimReport{}, nil
 	})
 	// First job occupies the worker, second the queue slot, third must be
 	// rejected with errQueueFull.
-	if _, err := p.submit(nil, simulateRequest{}); err != nil {
+	if _, err := p.submit(nil, api.SimulateRequest{}); err != nil {
 		t.Fatal(err)
 	}
 	<-started // worker has taken job 1 off the queue
-	if _, err := p.submit(nil, simulateRequest{}); err != nil {
+	if _, err := p.submit(nil, api.SimulateRequest{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.submit(nil, simulateRequest{}); !errors.Is(err, errQueueFull) {
+	if _, err := p.submit(nil, api.SimulateRequest{}); !errors.Is(err, errQueueFull) {
 		t.Fatalf("third submit: %v, want errQueueFull", err)
 	}
 	close(block)
@@ -484,20 +485,20 @@ func TestJobQueueBackpressure(t *testing.T) {
 	if err := p.drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.submit(nil, simulateRequest{}); !errors.Is(err, errDraining) {
+	if _, err := p.submit(nil, api.SimulateRequest{}); !errors.Is(err, errDraining) {
 		t.Fatalf("post-drain submit: %v, want errDraining", err)
 	}
 }
 
 func TestDrainLosesNoAcceptedJobs(t *testing.T) {
 	var done int64
-	p := stubbedPool(2, 32, func(ctx context.Context, j *job) (*simReport, error) {
+	p := stubbedPool(2, 32, func(ctx context.Context, j *job) (*api.SimReport, error) {
 		time.Sleep(time.Millisecond)
-		return &simReport{ExecTimeUS: 1}, nil
+		return &api.SimReport{ExecTimeUS: 1}, nil
 	})
 	var ids []string
 	for i := 0; i < 16; i++ {
-		id, err := p.submit(nil, simulateRequest{})
+		id, err := p.submit(nil, api.SimulateRequest{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -510,7 +511,7 @@ func TestDrainLosesNoAcceptedJobs(t *testing.T) {
 	}
 	for _, id := range ids {
 		j, ok := p.status(id)
-		if !ok || j.state != jobDone {
+		if !ok || j.state != api.JobDone {
 			t.Errorf("job %s state %q after drain", id, j.state)
 			continue
 		}
@@ -524,13 +525,13 @@ func TestDrainLosesNoAcceptedJobs(t *testing.T) {
 func TestJobRecordPruning(t *testing.T) {
 	p := newJobPool(jobPoolConfig{
 		workers: 1, queueDepth: 64, maxJobs: 4, timeout: time.Minute, met: newMetrics(),
-		run: func(ctx context.Context, j *job) (*simReport, error) {
-			return &simReport{}, nil
+		run: func(ctx context.Context, j *job) (*api.SimReport, error) {
+			return &api.SimReport{}, nil
 		},
 	})
 	var last string
 	for i := 0; i < 12; i++ {
-		id, err := p.submit(nil, simulateRequest{})
+		id, err := p.submit(nil, api.SimulateRequest{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -553,10 +554,10 @@ func TestJobRecordPruning(t *testing.T) {
 }
 
 func TestJobFailureSurfacesError(t *testing.T) {
-	p := stubbedPool(1, 4, func(ctx context.Context, j *job) (*simReport, error) {
+	p := stubbedPool(1, 4, func(ctx context.Context, j *job) (*api.SimReport, error) {
 		return nil, fmt.Errorf("boom")
 	})
-	id, err := p.submit(nil, simulateRequest{})
+	id, err := p.submit(nil, api.SimulateRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -566,7 +567,7 @@ func TestJobFailureSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	j, ok := p.status(id)
-	if !ok || j.state != jobFailed || !strings.Contains(j.errMsg, "boom") {
+	if !ok || j.state != api.JobFailed || !strings.Contains(j.errMsg, "boom") {
 		t.Errorf("failed job = %+v", j)
 	}
 }

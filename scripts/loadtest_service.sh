@@ -4,7 +4,13 @@
 # from the built-in load generator (floptd -loadgen) over keep-alive
 # connections and print the RPS / latency-quantile JSON on stdout.
 #
-# Usage: scripts/loadtest_service.sh [duration] [concurrency]
+# Usage: scripts/loadtest_service.sh [-cluster] [duration] [concurrency]
+#
+# With -cluster the script boots a 3-node static-roster cluster instead
+# of one daemon and hands the load generator all three URLs; workers
+# round-robin across the nodes, so the measured RPS is the aggregate
+# the cluster serves (peer cache fills happen during warmup, before the
+# measured window).
 #
 # The checked-in BENCH_service.json records one entry per service PR;
 # rerun this script on your machine and splice the output in to extend
@@ -12,27 +18,56 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cluster=0
+if [ "${1:-}" = "-cluster" ]; then
+	cluster=1
+	shift
+fi
 duration=${1:-10s}
 concurrency=${2:-8}
 
 workdir=$(mktemp -d)
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+pids=()
+trap 'for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/floptd" ./cmd/floptd
 
-addr=127.0.0.1:18474
-"$workdir/floptd" -addr "$addr" -workers 2 >"$workdir/out.log" 2>&1 &
-pid=$!
-for i in $(seq 1 50); do
-	curl -sf "http://$addr/healthz" >/dev/null 2>&1 && break
-	sleep 0.1
+if [ "$cluster" = 1 ]; then
+	porta=18475
+	portb=18476
+	portc=18477
+	roster="a=http://127.0.0.1:$porta,b=http://127.0.0.1:$portb,c=http://127.0.0.1:$portc"
+	for n in a b c; do
+		port_var="port$n"
+		"$workdir/floptd" -addr "127.0.0.1:${!port_var}" -workers 2 \
+			-node-id "$n" -peers "$roster" >"$workdir/$n.log" 2>&1 &
+		pids+=($!)
+	done
+	targets="http://127.0.0.1:$porta,http://127.0.0.1:$portb,http://127.0.0.1:$portc"
+	waiton="$porta $portb $portc"
+	nodes=3
+else
+	addr=127.0.0.1:18474
+	"$workdir/floptd" -addr "$addr" -workers 2 >"$workdir/out.log" 2>&1 &
+	pids+=($!)
+	targets="http://$addr"
+	waiton=18474
+	nodes=1
+fi
+
+for port in $waiton; do
+	for i in $(seq 1 50); do
+		curl -sf "http://127.0.0.1:$port/healthz" >/dev/null 2>&1 && break
+		sleep 0.1
+	done
 done
 
-res=$("$workdir/floptd" -loadgen -target "http://$addr" \
+res=$("$workdir/floptd" -loadgen -target "$targets" \
 	-duration "$duration" -concurrency "$concurrency" -batch 4 -count 512)
 
-kill -TERM "$pid"
-wait "$pid" || true
+for p in "${pids[@]}"; do kill -TERM "$p" 2>/dev/null || true; done
+for p in "${pids[@]}"; do wait "$p" 2>/dev/null || true; done
+pids=()
 
 cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 go_version=$(go env GOVERSION)
@@ -44,6 +79,7 @@ printf '%s\n' "$res" | sed '$d'
 cat <<EOF
   ,"duration_requested": "$duration",
   "concurrency": $concurrency,
+  "nodes": $nodes,
   "cores": $cores,
   "go": "$go_version",
   "date_utc": "$date_utc"
