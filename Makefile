@@ -17,6 +17,10 @@
 #   make cluster       — 3-node cluster drill: ring routing, distributed
 #                        compile singleflight, peer cache fill, cross-node
 #                        job polls, and kill -9 degradation to local compute
+#   make workload-smoke — record→replay drill: drive a two-class workload
+#                        spec against a recording floptd, replay the trace,
+#                        and assert bit-identical reproduction through the
+#                        loadgen and the exptab workload sweep
 #   make loadtest      — measure the floptd offsets hot path and print the
 #                        RPS / latency-quantile JSON (see BENCH_service.json);
 #                        pass -cluster via scripts/loadtest_service.sh to
@@ -25,7 +29,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build vet fmt-check deprecations lint test race chaos cluster verify bench bench-harness bench-compare serve-smoke loadtest
+.PHONY: build vet fmt-check deprecations lint test race chaos cluster workload-smoke verify bench bench-harness bench-compare serve-smoke loadtest
 
 build:
 	$(GO) build ./...
@@ -63,7 +67,10 @@ chaos:
 cluster:
 	./scripts/cluster_smoke.sh
 
-verify: build lint test race chaos cluster
+workload-smoke:
+	./scripts/workload_smoke.sh
+
+verify: build lint test race chaos cluster workload-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem .

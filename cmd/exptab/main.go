@@ -12,12 +12,16 @@
 //	exptab -exp table2 -faults 0.5   # base tables on a degraded cluster
 //	exptab -exp table2 -metrics-out cells.jsonl   # per-cell metric snapshots
 //	exptab -exp table2 -cpuprofile cpu.prof -memprofile mem.prof
+//	exptab -exp workload -spec examples/specs/bursty.json   # per-SLO-class sweep
+//	exptab -exp workload -replay trace.jsonl    # same, from a recorded trace
 //
 // Experiments: table1, table2, table3, fig7a … fig7h, optstats,
-// ablations, prefetch, faults, all. The emitted tables — and the
-// -metrics-out snapshots — are bit-identical for every -parallel value,
-// with or without fault injection; only wall-clock changes. ^C cancels
-// the in-flight cells promptly instead of waiting out the grid.
+// ablations, prefetch, faults, workload, all. The workload experiment
+// needs an event stream (-spec or -replay) and is therefore not part of
+// "all". The emitted tables — and the -metrics-out snapshots — are
+// bit-identical for every -parallel value, with or without fault
+// injection; only wall-clock changes. ^C cancels the in-flight cells
+// promptly instead of waiting out the grid.
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 	"flopt/internal/exp"
 	"flopt/internal/sim"
 	"flopt/internal/version"
+	"flopt/internal/workload"
 )
 
 // expFn builds one table; every builder takes the run context first so ^C
@@ -58,10 +63,12 @@ var builders = map[string]expFn{
 }
 
 var order = []string{"table1", "table2", "table3", "fig7a", "fig7b", "fig7c",
-	"fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "optstats", "ablations", "prefetch", "faults"}
+	"fig7d", "fig7e", "fig7f", "fig7g", "fig7h", "optstats", "ablations", "prefetch", "faults",
+	"workload"}
 
 // selectExperiments expands and validates the -exp list against the known
-// builder names (plus table1, which has no runner).
+// builder names (plus table1, which has no runner, and workload, which
+// takes its input from -spec/-replay and is excluded from "all").
 func selectExperiments(list string) (map[string]bool, error) {
 	want := map[string]bool{}
 	for _, name := range strings.Split(list, ",") {
@@ -71,11 +78,14 @@ func selectExperiments(list string) (map[string]bool, error) {
 		}
 		if name == "all" {
 			for _, n := range order {
+				if n == "workload" {
+					continue // needs -spec/-replay input
+				}
 				want[n] = true
 			}
 			continue
 		}
-		if name != "table1" {
+		if name != "table1" && name != "workload" {
 			if _, ok := builders[name]; !ok {
 				return nil, fmt.Errorf("unknown experiment %q (want one of %s, all)",
 					name, strings.Join(order, ", "))
@@ -84,6 +94,32 @@ func selectExperiments(list string) (map[string]bool, error) {
 		want[name] = true
 	}
 	return want, nil
+}
+
+// loadEvents resolves the workload experiment's event stream from exactly
+// one of a spec file (expanded deterministically) or a recorded trace.
+func loadEvents(specPath, replayPath string) ([]workload.Event, error) {
+	switch {
+	case specPath != "" && replayPath != "":
+		return nil, fmt.Errorf("-spec and -replay are mutually exclusive")
+	case specPath != "":
+		spec, err := workload.LoadSpecFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate()
+	case replayPath != "":
+		recs, err := workload.ReadTraceFile(replayPath)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("trace %s holds no records", replayPath)
+		}
+		return workload.Events(recs), nil
+	default:
+		return nil, fmt.Errorf("-exp workload needs -spec <file> or -replay <trace>")
+	}
 }
 
 // validateSeed rejects an explicit -seed that cannot influence anything:
@@ -108,6 +144,8 @@ func main() {
 		simW       = flag.Int("sim-workers", 0, "intra-cell simulation shard count per experiment cell (0 = off; capped so cells × shards stays within -parallel's CPU budget; reports are byte-identical at every value)")
 		faults     = flag.Float64("faults", 0, "fault-injection intensity in [0,1] applied to the base experiments (0 = healthy; the faults experiment sweeps intensities itself)")
 		seed       = flag.Int64("seed", 0, "fault-injection seed; identical seeds replay bit-identical fault runs")
+		specPath   = flag.String("spec", "", "workload spec JSON driving -exp workload")
+		replayPath = flag.String("replay", "", "recorded trace JSONL driving -exp workload")
 		metricsOut = flag.String("metrics-out", "", "write one JSONL metric snapshot per experiment cell to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile (after the experiments) to this file")
@@ -142,6 +180,18 @@ func main() {
 	if err := validateSeed(set["seed"], *faults, want); err != nil {
 		fmt.Fprintln(os.Stderr, "exptab:", err)
 		os.Exit(1)
+	}
+	if (*specPath != "" || *replayPath != "") && !want["workload"] {
+		fmt.Fprintln(os.Stderr, "exptab: -spec/-replay only drive -exp workload")
+		os.Exit(1)
+	}
+	var events []workload.Event
+	if want["workload"] {
+		var err error
+		if events, err = loadEvents(*specPath, *replayPath); err != nil {
+			fmt.Fprintln(os.Stderr, "exptab:", err)
+			os.Exit(1)
+		}
 	}
 
 	cfg := sim.DefaultConfig()
@@ -211,7 +261,13 @@ func main() {
 			fmt.Println(exp.Table1(cfg))
 			continue
 		}
-		t, err := builders[name](ctx, runner, cfg)
+		build := builders[name]
+		if name == "workload" {
+			build = func(ctx context.Context, r *exp.Runner, cfg sim.Config) (*exp.Table, error) {
+				return exp.WorkloadSweep(ctx, r, cfg, events)
+			}
+		}
+		t, err := build(ctx, runner, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)

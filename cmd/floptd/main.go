@@ -36,12 +36,21 @@
 //	floptd -addr :8081 -node-id a -peers 'a=http://h1:8081,b=http://h2:8082'
 //	floptd -version
 //	floptd -loadgen -target http://127.0.0.1:8080 -duration 10s
+//	floptd -record /tmp/trace.jsonl                  # serve + record traffic
+//	floptd -loadgen -spec examples/specs/bursty.json # drive a workload spec
+//	floptd -loadgen -replay /tmp/trace.jsonl         # replay a recorded trace
+//	floptd -loadgen -program mgrid                   # one-client preset spec
 //
 // The -loadgen mode turns the same binary into the measurement client
 // scripts/loadtest_service.sh uses: it compiles one workload, hammers
 // the offsets hot path from keep-alive connections (round-robin over
 // comma-separated -target URLs in cluster mode), and prints the
-// RPS/latency quantiles as JSON.
+// RPS/latency quantiles as JSON. With -spec, -replay or -program it
+// instead issues a deterministic event stream from the internal/workload
+// subsystem — multi-client arrival processes, SLO classes, request mixes
+// — and reports per-class counts and latency quantiles. Serving with
+// -record writes every served request as one line of a schema-versioned
+// JSONL trace that -replay (and exptab -replay) reproduce bit-identically.
 package main
 
 import (
@@ -60,9 +69,30 @@ import (
 	"flopt/internal/cluster"
 	"flopt/internal/service"
 	"flopt/internal/version"
+	"flopt/internal/workload"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// countSet counts how many of the given mode flags are set.
+func countSet(flags ...bool) int {
+	n := 0
+	for _, f := range flags {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// runSpecEvents expands a validated spec and issues its event stream.
+func runSpecEvents(ctx context.Context, spec *workload.Spec, target string, pace float64) (*service.SpecLoadResult, error) {
+	evs, err := spec.Generate()
+	if err != nil {
+		return nil, err
+	}
+	return service.RunSpecLoad(ctx, service.SpecLoadOptions{BaseURL: target, Events: evs, Pace: pace})
+}
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("floptd", flag.ContinueOnError)
@@ -91,7 +121,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		concurrency = fs.Int("concurrency", 32, "loadgen: concurrent client workers")
 		batch       = fs.Int("batch", 4, "loadgen: offset queries per request")
 		count       = fs.Int64("count", 512, "loadgen: run length per offset query")
-		workload    = fs.String("workload", "swim", "loadgen: workload compiled and queried")
+		workloadArg = fs.String("workload", "swim", "loadgen: workload compiled and queried by the hammer mode")
+
+		record   = fs.String("record", "", "serve: write every served compile/offsets/simulate request to this JSONL workload trace")
+		specPath = fs.String("spec", "", "loadgen: expand and run a declarative workload spec (JSON; see examples/specs/)")
+		replay   = fs.String("replay", "", "loadgen: replay a trace recorded with -record")
+		pace     = fs.Float64("pace", 0, "loadgen: replay speed for -spec/-replay on the modeled timeline (1 = real time, 2 = twice as fast); 0 issues back to back")
+		program  = fs.String("program", "", "loadgen: run a steady one-client spec over this named workload program (spec mode, any internal/workloads name)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -104,14 +140,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer stop()
 
 	if *loadgen {
-		res, err := service.RunLoad(ctx, service.LoadOptions{
-			BaseURL:     *target,
-			Workload:    *workload,
-			Duration:    *duration,
-			Concurrency: *concurrency,
-			Batch:       *batch,
-			Count:       *count,
-		})
+		var res any
+		var err error
+		switch {
+		case countSet(*specPath != "", *replay != "", *program != "") > 1:
+			fmt.Fprintln(stderr, "floptd: set at most one of -spec, -replay and -program")
+			return 2
+		case *specPath != "":
+			var spec *workload.Spec
+			if spec, err = workload.LoadSpecFile(*specPath); err == nil {
+				res, err = runSpecEvents(ctx, spec, *target, *pace)
+			}
+		case *program != "":
+			// The preset is a trivial one-client spec under the hood, so
+			// any named workloads program gets the full spec machinery.
+			spec := workload.SingleClientSpec(*program)
+			if err = spec.Validate(); err == nil {
+				res, err = runSpecEvents(ctx, spec, *target, *pace)
+			}
+		case *replay != "":
+			var recs []workload.Record
+			if recs, err = workload.ReadTraceFile(*replay); err == nil {
+				res, err = service.RunSpecLoad(ctx, service.SpecLoadOptions{
+					BaseURL: *target,
+					Events:  workload.Events(recs),
+					Pace:    *pace,
+				})
+			}
+		default:
+			res, err = service.RunLoad(ctx, service.LoadOptions{
+				BaseURL:     *target,
+				Workload:    *workloadArg,
+				Duration:    *duration,
+				Concurrency: *concurrency,
+				Batch:       *batch,
+				Count:       *count,
+			})
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "floptd:", err)
 			return 1
@@ -126,6 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Workers, cfg.QueueDepth, cfg.CacheEntries = *workers, *queue, *cacheEntries
 	cfg.SimWorkers = *simWorkers
 	cfg.DataDir = *dataDir
+	cfg.RecordPath = *record
 	cfg.RequestTimeout = *reqTimeout
 	cfg.ChaosIntensity, cfg.ChaosSeed = *chaosIntens, *chaosSeed
 	if cfg.Workers < 1 || cfg.QueueDepth < 1 || cfg.CacheEntries < 1 {

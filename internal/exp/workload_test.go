@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flopt/internal/workload"
+)
+
+// sweepSpec mixes two SLO classes over two small programs, with simulate
+// events in both classes so the sim columns are non-trivial.
+func sweepSpec() *workload.Spec {
+	return &workload.Spec{
+		Version:   workload.SpecVersion,
+		Name:      "sweep-test",
+		Seed:      7,
+		DurationS: 1,
+		RateRPS:   30,
+		Clients: []workload.Client{
+			{
+				ID:           "gold-client",
+				RateFraction: 0.5,
+				SLOClass:     "gold",
+				Arrival:      workload.Arrival{Process: workload.ProcessPoisson},
+				Mix: []workload.MixEntry{
+					{Program: "cc-ver-1", Kind: workload.KindOffsets, Weight: 2},
+					{Program: "cc-ver-1", Kind: workload.KindSimulate, Weight: 1},
+				},
+			},
+			{
+				ID:           "batch-client",
+				RateFraction: 0.5,
+				SLOClass:     "batch",
+				Arrival:      workload.Arrival{Process: workload.ProcessOnOff, OnS: 0.3, OffS: 0.2},
+				Mix: []workload.MixEntry{
+					{Program: "s3asim", Kind: workload.KindSimulate, Weight: 1},
+					{Program: "s3asim", Kind: workload.KindCompile, Weight: 1},
+				},
+			},
+		},
+	}
+}
+
+// TestWorkloadSweepDeterministicAcrossParallel pins the acceptance
+// criterion's offline half: the rendered table is byte-identical at every
+// worker count.
+func TestWorkloadSweepDeterministicAcrossParallel(t *testing.T) {
+	evs, err := sweepSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var ref string
+	for _, par := range []int{1, 4, 8} {
+		r := NewRunner()
+		r.Parallel = par
+		tab, err := WorkloadSweep(ctx, r, fastConfig(), evs)
+		if err != nil {
+			t.Fatalf("parallel %d: %v", par, err)
+		}
+		out := tab.Render()
+		if par == 1 {
+			ref = out
+			continue
+		}
+		if out != ref {
+			t.Errorf("parallel %d diverges from serial:\n%s\nvs\n%s", par, out, ref)
+		}
+	}
+	if !strings.Contains(ref, "gold") || !strings.Contains(ref, "batch") {
+		t.Errorf("sweep table missing SLO class rows:\n%s", ref)
+	}
+}
+
+// TestWorkloadSweepSpecVsTrace: an event stream written through the trace
+// layer and read back produces the identical table — a recorded trace
+// replays bit-identically through the offline harness.
+func TestWorkloadSweepSpecVsTrace(t *testing.T) {
+	evs, err := sweepSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tw, err := workload.NewTraceWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if err := tw.Append(ev.Kind, ev.Client, ev.SLO, ev.Program); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := workload.Events(recs)
+	if len(replayed) != len(evs) {
+		t.Fatalf("trace replays %d events, want %d", len(replayed), len(evs))
+	}
+
+	r := NewRunner()
+	ctx := context.Background()
+	fromSpec, err := WorkloadSweep(ctx, r, fastConfig(), evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTrace, err := WorkloadSweep(ctx, r, fastConfig(), replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fromTrace.Render(), fromSpec.Render(); got != want {
+		t.Errorf("trace sweep diverges from spec sweep:\n%s\nvs\n%s", got, want)
+	}
+	wantCounts := workload.ClassCounts(evs)
+	for class, n := range workload.ClassCounts(replayed) {
+		if wantCounts[class] != n {
+			t.Errorf("class %q: trace count %d, spec count %d", class, n, wantCounts[class])
+		}
+	}
+}
+
+func TestWorkloadSweepRejectsBadInput(t *testing.T) {
+	r := NewRunner()
+	ctx := context.Background()
+	if _, err := WorkloadSweep(ctx, r, fastConfig(), nil); err == nil {
+		t.Error("empty event stream accepted")
+	}
+	bad := []workload.Event{{Kind: "bogus", Client: "c", SLO: "default", Program: "swim"}}
+	if _, err := WorkloadSweep(ctx, r, fastConfig(), bad); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}

@@ -38,6 +38,35 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	// 100 uniform observations in (0, 100]: quantiles should land near
+	// the true values within one bucket's resolution.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	for _, tc := range []struct {
+		q      float64
+		lo, hi int64
+	}{
+		{0, 0, 11}, {0.5, 40, 60}, {0.9, 80, 100}, {1, 90, 100},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Errorf("Quantile(%g) = %d, want in [%d, %d]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+	// Observations past the last bound surface the max.
+	h2 := NewHistogram(10)
+	h2.Observe(5000)
+	if got := h2.Quantile(0.99); got != 5000 {
+		t.Errorf("overflow quantile = %d, want 5000", got)
+	}
+}
+
 func TestHistogramRejectsUnsortedBounds(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -84,6 +84,47 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// Quantile returns an approximation of the q-quantile (q in [0, 1]) of
+// the observations: the rank is located in the cumulative bucket counts
+// and the value interpolated linearly within the bucket. The overflow
+// bucket reports the observed max (the only bound it has). Empty
+// histograms report 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.count-1))
+	var cum int64
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		if rank < cum+n {
+			if i >= len(h.bounds) {
+				return h.max
+			}
+			lo := h.min
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			if hi < lo {
+				return hi
+			}
+			frac := (float64(rank-cum) + 0.5) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.max
+}
+
 // HistBucket is one non-empty histogram bucket: N observations at most Le
 // (Le == -1 marks the overflow bucket).
 type HistBucket struct {

@@ -15,6 +15,24 @@ import "flopt/internal/sim"
 // (e.g. "/"+V1+"/compile").
 const V1 = "v1"
 
+// Workload headers: optional request metadata the workload subsystem
+// (internal/workload) attaches so traffic is classifiable end to end.
+const (
+	// HeaderSLOClass labels the request's SLO class; the service tracks a
+	// latency histogram per class and records the class into -record
+	// traces. Cluster forwards propagate it, so the executing node's
+	// histograms see the class the client declared.
+	HeaderSLOClass = "X-Flopt-Slo-Class"
+	// HeaderClient names the logical workload client issuing the request
+	// (a spec's client id); recorded into traces.
+	HeaderClient = "X-Flopt-Client"
+	// HeaderNoRecord, when set to any non-empty value, excludes the
+	// request from -record traces. The load generator marks its setup
+	// compiles with it so a recorded trace holds exactly the spec's
+	// events and replays compare count-for-count.
+	HeaderNoRecord = "X-Flopt-No-Record"
+)
+
 // Job states, in lifecycle order. A job ID returned by a simulate
 // submission is guaranteed to reach JobDone or JobFailed, across drains
 // and (with a data dir) crashes.

@@ -103,6 +103,25 @@ func WithHeader(key, value string) Option {
 	return func(c *Client) { c.headers[key] = value }
 }
 
+// ctxHeaderKey carries per-request headers through a context.
+type ctxHeaderKey struct{}
+
+// ContextWithHeader returns a context that makes every client request
+// carried under it send the given header. Calls stack: each adds one
+// header on top of those already in ctx. The load generator stamps SLO
+// class and client identity this way, and the cluster forward paths use
+// it to propagate those headers to the executing node without widening
+// every client method's signature.
+func ContextWithHeader(ctx context.Context, key, value string) context.Context {
+	prev, _ := ctx.Value(ctxHeaderKey{}).(map[string]string)
+	m := make(map[string]string, len(prev)+1)
+	for k, v := range prev {
+		m[k] = v
+	}
+	m[key] = value
+	return context.WithValue(ctx, ctxHeaderKey{}, m)
+}
+
 // Client talks to one floptd node.
 type Client struct {
 	base         string
@@ -241,6 +260,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, att
 	}
 	for k, v := range c.headers {
 		req.Header.Set(k, v)
+	}
+	if m, ok := ctx.Value(ctxHeaderKey{}).(map[string]string); ok {
+		for k, v := range m {
+			req.Header.Set(k, v)
+		}
 	}
 	if attempt > 0 {
 		req.Header.Set("X-Retry-Attempt", strconv.Itoa(attempt))

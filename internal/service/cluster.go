@@ -286,6 +286,19 @@ func forwarded(r *http.Request) (string, bool) {
 	return peer, peer != ""
 }
 
+// propagateHeaders copies the workload headers (SLO class, client
+// identity, no-record) from r onto ctx so a peer call carries them:
+// the executing node's per-class histograms and -record trace then see
+// the classification the client declared, not a blank.
+func propagateHeaders(ctx context.Context, r *http.Request) context.Context {
+	for _, h := range []string{api.HeaderSLOClass, api.HeaderClient, api.HeaderNoRecord} {
+		if v := r.Header.Get(h); v != "" {
+			ctx = client.ContextWithHeader(ctx, h, v)
+		}
+	}
+	return ctx
+}
+
 // selfLoad snapshots this node's load for gossip and placement.
 func (s *Server) selfLoad() cluster.Load {
 	depth, running, ewma := s.jobs.loadStats()
@@ -429,7 +442,7 @@ func (s *Server) forwardSimulate(w http.ResponseWriter, r *http.Request, req *ap
 		return false
 	}
 	var resp *api.JobResponse
-	err := s.clu.call(r.Context(), target, func(cctx context.Context, c *client.Client) error {
+	err := s.clu.call(propagateHeaders(r.Context(), r), target, func(cctx context.Context, c *client.Client) error {
 		var err error
 		resp, err = c.Simulate(cctx, req)
 		return err
@@ -464,7 +477,7 @@ func (s *Server) proxyJobStatus(w http.ResponseWriter, r *http.Request, id strin
 		return false
 	}
 	var resp *api.JobResponse
-	err := s.clu.call(r.Context(), node, func(cctx context.Context, c *client.Client) error {
+	err := s.clu.call(propagateHeaders(r.Context(), r), node, func(cctx context.Context, c *client.Client) error {
 		var err error
 		resp, err = c.JobStatus(cctx, id)
 		return err

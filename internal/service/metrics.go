@@ -51,6 +51,11 @@ const (
 	mBreakerState = "breaker_state"
 	mBreakerOpens = "breaker_opens_total"
 
+	// Workload trace recording (-record).
+	mTraceRecords = "trace_records_total"
+	mTraceSkipped = "trace_skipped_total"
+	mTraceErrors  = "trace_errors_total"
+
 	// Chaos injection.
 	mChaosDelays     = "chaos_delays_total"
 	mChaosErrors     = "chaos_errors_total"
@@ -118,6 +123,18 @@ func (m *metrics) observe(route string, us int64) {
 	m.mu.Unlock()
 }
 
+// sloHistPrefix namespaces the per-SLO-class latency histograms; the
+// exposition renders them as floptd_slo_latency_us_* series with an
+// slo_class label instead of the per-route family.
+const sloHistPrefix = "latency_us_slo_"
+
+// observeSLO records one request latency (µs) for an SLO class.
+func (m *metrics) observeSLO(class string, us int64) {
+	m.mu.Lock()
+	m.reg.Histogram(sloHistPrefix+class, latencyBucketsUS()...).Observe(us)
+	m.mu.Unlock()
+}
+
 // counter reads one counter value (tests and /healthz).
 func (m *metrics) counter(name string) int64 {
 	m.mu.Lock()
@@ -160,7 +177,12 @@ func (m *metrics) writeExposition(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		h := s.Histograms[name]
-		route := strings.TrimPrefix(name, "latency_us_")
+		// Per-SLO-class histograms render as their own family with an
+		// slo_class label; everything else is the per-route family.
+		family, label, key := "latency_us", "route", strings.TrimPrefix(name, "latency_us_")
+		if class, ok := strings.CutPrefix(name, sloHistPrefix); ok {
+			family, label, key = "slo_latency_us", "slo_class", class
+		}
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.N
@@ -168,12 +190,12 @@ func (m *metrics) writeExposition(w io.Writer) {
 			if b.Le >= 0 {
 				le = fmt.Sprint(b.Le)
 			}
-			fmt.Fprintf(w, "floptd_latency_us_bucket{route=%q,le=%q} %d\n", route, le, cum)
+			fmt.Fprintf(w, "floptd_%s_bucket{%s=%q,le=%q} %d\n", family, label, key, le, cum)
 		}
 		if len(h.Buckets) == 0 || h.Buckets[len(h.Buckets)-1].Le >= 0 {
-			fmt.Fprintf(w, "floptd_latency_us_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.Count)
+			fmt.Fprintf(w, "floptd_%s_bucket{%s=%q,le=\"+Inf\"} %d\n", family, label, key, h.Count)
 		}
-		fmt.Fprintf(w, "floptd_latency_us_sum{route=%q} %d\n", route, h.Sum)
-		fmt.Fprintf(w, "floptd_latency_us_count{route=%q} %d\n", route, h.Count)
+		fmt.Fprintf(w, "floptd_%s_sum{%s=%q} %d\n", family, label, key, h.Sum)
+		fmt.Fprintf(w, "floptd_%s_count{%s=%q} %d\n", family, label, key, h.Count)
 	}
 }

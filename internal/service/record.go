@@ -1,0 +1,95 @@
+package service
+
+import (
+	"net/http"
+
+	"flopt/internal/service/api"
+	"flopt/internal/workload"
+	"flopt/internal/workloads"
+)
+
+// sourceProgram maps built-in workload sources back to their names, so
+// the offsets and simulate handlers — which see only a layout's source —
+// can record the program a request exercised. Built once: the workload
+// catalog is immutable.
+var sourceProgram = func() map[string]string {
+	m := make(map[string]string)
+	for _, wl := range workloads.All() {
+		m[wl.Source] = wl.Name
+	}
+	return m
+}()
+
+// sloClass extracts and sanitizes the request's SLO class: empty when
+// the header is absent, "other" when it fails the identifier rules that
+// keep classes embeddable in flat metric names.
+func sloClass(r *http.Request) string {
+	class := r.Header.Get(api.HeaderSLOClass)
+	if class == "" {
+		return ""
+	}
+	if !validClass(class) {
+		return "other"
+	}
+	return class
+}
+
+// validClass mirrors the workload spec's identifier charset:
+// [a-z0-9_-], 1–32 chars.
+func validClass(s string) bool {
+	if len(s) == 0 || len(s) > 32 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// record appends one served request to the -record trace. Recording is
+// a per-node account of executed traffic: a cluster node records what it
+// served, including peer-forwarded requests (whose workload headers the
+// forward propagated), while the entry node that forwarded them away
+// does not. Requests marked api.HeaderNoRecord (the load generator's
+// setup compiles) are skipped, as are requests whose program has no
+// built-in name — a trace line must name a replayable program.
+func (s *Server) record(r *http.Request, kind, program string) {
+	if s.rec == nil || r.Header.Get(api.HeaderNoRecord) != "" {
+		return
+	}
+	if program == "" {
+		s.met.inc(mTraceSkipped)
+		return
+	}
+	class := sloClass(r)
+	if err := s.rec.Append(kind, r.Header.Get(api.HeaderClient), class, program); err != nil {
+		s.met.inc(mTraceErrors)
+		return
+	}
+	s.met.inc(mTraceRecords)
+}
+
+// recordLayout is record for the handlers that hold a layout entry
+// rather than a request's program name.
+func (s *Server) recordLayout(r *http.Request, kind string, ent *compiled) {
+	if s.rec == nil {
+		return
+	}
+	s.record(r, kind, programName(ent.Source))
+}
+
+// programName returns the built-in name for a workload source ("" for
+// custom programs).
+func programName(source string) string { return sourceProgram[source] }
+
+// kindOf keeps the trace kinds aligned with the workload package's
+// constants without importing it at every call site.
+const (
+	kindCompile  = workload.KindCompile
+	kindOffsets  = workload.KindOffsets
+	kindSimulate = workload.KindSimulate
+)

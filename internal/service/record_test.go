@@ -1,0 +1,247 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flopt/internal/service/api"
+	"flopt/internal/workload"
+)
+
+// recordSpec is the round-trip test traffic: two SLO classes, all three
+// request kinds, small programs so the simulate jobs stay fast under
+// -race.
+func recordSpec() *workload.Spec {
+	return &workload.Spec{
+		Version:   workload.SpecVersion,
+		Name:      "record-test",
+		Seed:      11,
+		DurationS: 1,
+		RateRPS:   40,
+		Clients: []workload.Client{
+			{
+				ID:           "gold-client",
+				RateFraction: 0.5,
+				SLOClass:     "gold",
+				Arrival:      workload.Arrival{Process: workload.ProcessPoisson},
+				Mix: []workload.MixEntry{
+					{Program: "cc-ver-1", Kind: workload.KindOffsets, Weight: 3},
+					{Program: "cc-ver-1", Kind: workload.KindCompile, Weight: 1},
+				},
+			},
+			{
+				ID:           "batch-client",
+				RateFraction: 0.5,
+				SLOClass:     "batch",
+				Arrival:      workload.Arrival{Process: workload.ProcessOnOff, OnS: 0.3, OffS: 0.2},
+				Mix: []workload.MixEntry{
+					{Program: "s3asim", Kind: workload.KindOffsets, Weight: 6},
+					{Program: "s3asim", Kind: workload.KindSimulate, Weight: 1},
+				},
+			},
+		},
+	}
+}
+
+// sameRequest reports whether a trace record and an event describe the
+// same request (times differ by construction: one is modeled, one is
+// wall clock).
+func sameRequest(r workload.Record, e workload.Event) bool {
+	return r.Kind == e.Kind && r.Client == e.Client && r.SLO == e.SLO && r.Program == e.Program
+}
+
+// TestRecordReplayRoundTrip pins the acceptance criterion end to end:
+// a spec run against a recording daemon produces a trace holding
+// exactly the issued event sequence; replaying that trace against a
+// second recording daemon reproduces the same sequence bit-identically
+// (same requests, same order, same per-class counts).
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec1 := filepath.Join(dir, "run1.jsonl")
+	rec2 := filepath.Join(dir, "run2.jsonl")
+	ctx := context.Background()
+
+	evs, err := recordSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 10 {
+		t.Fatalf("spec expanded to only %d events", len(evs))
+	}
+
+	_, ts1 := newTestServer(t, func(cfg *Config) { cfg.RecordPath = rec1 })
+	res1, err := RunSpecLoad(ctx, SpecLoadOptions{BaseURL: ts1.URL, Events: evs})
+	if err != nil {
+		t.Fatalf("spec run: %v", err)
+	}
+	if res1.Errors != 0 {
+		t.Fatalf("spec run: %d errors", res1.Errors)
+	}
+	if res1.Events != int64(len(evs)) {
+		t.Fatalf("spec run issued %d events, want %d", res1.Events, len(evs))
+	}
+
+	recs1, err := workload.ReadTraceFile(rec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trace holds exactly the issued events in order — the setup
+	// compiles were excluded by api.HeaderNoRecord, so lengths match.
+	if len(recs1) != len(evs) {
+		t.Fatalf("trace has %d records, want %d (no-record setup leaked in?)", len(recs1), len(evs))
+	}
+	for i := range recs1 {
+		if !sameRequest(recs1[i], evs[i]) {
+			t.Fatalf("trace record %d = %+v does not match issued event %+v", i, recs1[i], evs[i])
+		}
+	}
+
+	// Replay the recorded trace against a fresh recording daemon: the
+	// second trace must reproduce the first request-for-request.
+	_, ts2 := newTestServer(t, func(cfg *Config) { cfg.RecordPath = rec2 })
+	res2, err := RunSpecLoad(ctx, SpecLoadOptions{BaseURL: ts2.URL, Events: workload.Events(recs1)})
+	if err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	if res2.Errors != 0 {
+		t.Fatalf("replay run: %d errors", res2.Errors)
+	}
+	recs2, err := workload.ReadTraceFile(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != len(recs1) {
+		t.Fatalf("replay trace has %d records, want %d", len(recs2), len(recs1))
+	}
+	for i := range recs2 {
+		if recs2[i].Seq != recs1[i].Seq || !sameRequest(recs2[i], workload.Events(recs1)[i]) {
+			t.Fatalf("replay record %d = %+v diverges from original %+v", i, recs2[i], recs1[i])
+		}
+	}
+
+	// Per-class counts agree across the spec, the record, and the replay.
+	want := workload.ClassCounts(evs)
+	for name, counts := range map[string]map[string]int64{
+		"recorded": workload.ClassCounts(workload.Events(recs1)),
+		"replayed": workload.ClassCounts(workload.Events(recs2)),
+	} {
+		for class, n := range want {
+			if counts[class] != n {
+				t.Errorf("%s class %q count %d, want %d", name, class, counts[class], n)
+			}
+		}
+	}
+	for _, class := range []string{"gold", "batch"} {
+		cs := res1.Classes[class]
+		if cs == nil || cs.Requests != want[class] {
+			t.Errorf("client-side class %q stats %+v, want %d requests", class, cs, want[class])
+		}
+	}
+}
+
+// TestRecordMetricsAndExposition: recording and SLO classification are
+// observable — trace counters count, and per-class latency histograms
+// render as their own Prometheus family.
+func TestRecordMetricsAndExposition(t *testing.T) {
+	rec := filepath.Join(t.TempDir(), "trace.jsonl")
+	s, ts := newTestServer(t, func(cfg *Config) { cfg.RecordPath = rec })
+
+	evs, err := recordSpec().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSpecLoad(context.Background(), SpecLoadOptions{BaseURL: ts.URL, Events: evs}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.met.counter(mTraceRecords); got != int64(len(evs)) {
+		t.Errorf("trace_records_total = %d, want %d", got, len(evs))
+	}
+	var sb strings.Builder
+	s.met.writeExposition(&sb)
+	out := sb.String()
+	for _, needle := range []string{
+		`floptd_slo_latency_us_bucket{slo_class="gold",le="+Inf"}`,
+		`floptd_slo_latency_us_count{slo_class="batch"}`,
+		"floptd_trace_records_total",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("exposition missing %q", needle)
+		}
+	}
+	// The per-route family is untouched by the SLO series.
+	if !strings.Contains(out, `floptd_latency_us_bucket{route="offsets"`) {
+		t.Error("per-route latency family disappeared")
+	}
+	if strings.Contains(out, `floptd_latency_us_bucket{route="slo_`) {
+		t.Error("SLO histograms leaked into the per-route family")
+	}
+}
+
+// TestSLOClassSanitized: a malformed class header lands in "other"
+// instead of minting an arbitrary metric name.
+func TestSLOClassSanitized(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set(api.HeaderSLOClass, "Not A Valid Class!")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	snap := s.met.snapshot()
+	if h, ok := snap.Histograms[sloHistPrefix+"other"]; !ok || h.Count != 1 {
+		t.Errorf("malformed class not folded into %q: %+v", sloHistPrefix+"other", snap.Histograms)
+	}
+}
+
+// TestClusterPropagatesWorkloadHeaders: a compile carrying SLO and
+// client headers is recorded with them on whichever node executed it —
+// forwarded requests included, which is only possible if the peer call
+// propagated the headers.
+func TestClusterPropagatesWorkloadHeaders(t *testing.T) {
+	dir := t.TempDir()
+	recPath := func(i int) string { return filepath.Join(dir, "node"+string(rune('a'+i))+".jsonl") }
+	servers, https := newTestCluster(t, 3, func(i int, cfg *Config) {
+		cfg.RecordPath = recPath(i)
+	})
+
+	// One compile per entry node: at least two are non-owners and must
+	// forward to the ring owner, whose trace then carries the headers.
+	for i := range https {
+		req, _ := http.NewRequest(http.MethodPost, https[i].URL+"/v1/compile",
+			strings.NewReader(`{"workload":"cc-ver-1"}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(api.HeaderSLOClass, "gold")
+		req.Header.Set(api.HeaderClient, "spec-client")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile via node %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if fwd := sumCounter(servers, mClusterForwardCompile); fwd == 0 {
+		t.Fatal("no compile was forwarded — the propagation path was not exercised")
+	}
+	var total int
+	for i := range servers {
+		recs, err := workload.ReadTraceFile(recPath(i))
+		if err != nil {
+			t.Fatalf("node %d trace: %v", i, err)
+		}
+		for _, r := range recs {
+			if r.SLO != "gold" || r.Client != "spec-client" || r.Program != "cc-ver-1" {
+				t.Errorf("node %d recorded %+v without the propagated headers", i, r)
+			}
+		}
+		total += len(recs)
+	}
+	if total != 3 {
+		t.Errorf("cluster recorded %d requests, want 3", total)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"flopt/internal/service/api"
 	"flopt/internal/sim"
 	"flopt/internal/version"
+	"flopt/internal/workload"
 	"flopt/internal/workloads"
 )
 
@@ -68,6 +69,12 @@ type Config struct {
 	// ledger). Empty disables persistence: state is memory-only, as it
 	// was before the journals existed.
 	DataDir string
+	// RecordPath, when set, makes the daemon write every successfully
+	// served compile/offsets/simulate request as one line of a
+	// schema-versioned JSONL workload trace (internal/workload), which
+	// `floptd -loadgen -replay` and exptab replay bit-identically.
+	// Requests marked api.HeaderNoRecord are excluded.
+	RecordPath string
 	// RequestTimeout is the per-request deadline plumbed into every
 	// handler's context; 0 disables it.
 	RequestTimeout time.Duration
@@ -125,6 +132,7 @@ type Server struct {
 	breaker    *breaker
 	retry      *retryBudget
 	clu        *clusterNode // nil outside cluster mode
+	rec        *workload.TraceWriter
 	mux        *http.ServeMux
 	handler    http.Handler
 	start      time.Time
@@ -151,9 +159,19 @@ func New(cfg Config) (*Server, error) {
 	s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, s.met)
 	s.retry = newRetryBudget(cfg.RetryBudget)
 	s.cache = newCompileCache(cfg.CacheEntries, s.met, s.build)
+	if cfg.RecordPath != "" {
+		rec, err := workload.NewTraceWriter(cfg.RecordPath)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.rec = rec
+	}
 	if cfg.DataDir != "" {
 		p, err := newPersister(cfg.DataDir, s.met)
 		if err != nil {
+			if s.rec != nil {
+				s.rec.Close()
+			}
 			return nil, err
 		}
 		s.persist = p
@@ -167,6 +185,9 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			if s.persist != nil {
 				s.persist.close()
+			}
+			if s.rec != nil {
+				s.rec.Close()
 			}
 			return nil, err
 		}
@@ -199,6 +220,9 @@ func New(cfg Config) (*Server, error) {
 	if s.persist != nil {
 		if err := s.recoverState(); err != nil {
 			s.persist.close()
+			if s.rec != nil {
+				s.rec.Close()
+			}
 			return nil, err
 		}
 	}
@@ -225,6 +249,11 @@ func (s *Server) Drain(ctx context.Context) error { return s.jobs.drain(ctx) }
 func (s *Server) Close() error {
 	if s.clu != nil {
 		s.clu.stopGossip()
+	}
+	if s.rec != nil {
+		if err := s.rec.Close(); err != nil {
+			s.met.inc(mTraceErrors)
+		}
 	}
 	if s.persist == nil {
 		return nil
@@ -348,13 +377,20 @@ func (s *Server) Metrics() *metrics { return s.met }
 // ---- handlers ----
 
 // instrument wraps a handler with the request counter and the per-route
-// latency histogram.
+// latency histogram. Requests declaring an SLO class (the workload
+// subsystem's api.HeaderSLOClass) additionally feed a per-class
+// histogram, so a spec's slo_class is observable on /metrics — on the
+// executing node, since cluster forwards propagate the header.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.met.inc(mHTTPRequests)
 		h(w, r)
-		s.met.observe(route, time.Since(start).Microseconds())
+		us := time.Since(start).Microseconds()
+		s.met.observe(route, us)
+		if class := sloClass(r); class != "" {
+			s.met.observeSLO(class, us)
+		}
 	}
 }
 
@@ -428,7 +464,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// ring owner (the cluster-wide singleflight), unless the request
 	// already crossed the cluster once or the owner is unreachable.
 	if s.clusterEnabled() {
-		if _, fromPeer := forwarded(r); !fromPeer && s.forwardCompile(r.Context(), w, source, req.Config, cfg) {
+		if _, fromPeer := forwarded(r); !fromPeer && s.forwardCompile(propagateHeaders(r.Context(), r), w, source, req.Config, cfg) {
 			return
 		}
 	}
@@ -482,6 +518,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Optimized, resp.TotalArrays = ent.Result.OptimizedCount()
+	s.recordLayout(r, kindCompile, ent)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -588,6 +625,7 @@ func (s *Server) handleOffsets(w http.ResponseWriter, r *http.Request) {
 	s.met.add(mOffsetsSegments, segs)
 	s.met.add(mOffsetsStrided, strided)
 	s.met.add(mOffsetsWalked, walked)
+	s.recordLayout(r, kindOffsets, ent)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -655,6 +693,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.inc(mJobsSubmitted)
+	s.recordLayout(r, kindSimulate, ent)
 	w.Header().Set("Location", "/v1/jobs/"+id)
 	s.writeJSON(w, http.StatusAccepted, api.JobResponse{JobID: id, State: api.JobQueued, Node: s.nodeID()})
 }

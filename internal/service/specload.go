@@ -1,0 +1,230 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"flopt/internal/obs"
+	"flopt/internal/service/api"
+	"flopt/internal/service/client"
+	"flopt/internal/workload"
+)
+
+// SpecLoadOptions configures one workload-driven run against a daemon
+// (or cluster): the events come from a spec expansion or a recorded
+// trace, and are issued strictly in sequence order — which is what makes
+// a -record trace of the run reproduce the event sequence exactly, and
+// a replay of that trace issue the same requests again.
+type SpecLoadOptions struct {
+	// BaseURL is one node URL, or a comma-separated list; events
+	// round-robin across the targets by sequence number.
+	BaseURL string
+	Events  []workload.Event
+	// Pace replays events on their modeled timeline scaled by this
+	// factor (1 = real time, 2 = twice as fast). 0 issues back to back —
+	// the mode the determinism tests and the smoke script use, since it
+	// keeps the request sequence exact without waiting out the clock.
+	Pace float64
+}
+
+// ClassStats is the client-side account of one SLO class.
+type ClassStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	P50US    int64 `json:"p50_us"`
+	P99US    int64 `json:"p99_us"`
+}
+
+// SpecLoadResult is the measurement of a spec or replay run.
+type SpecLoadResult struct {
+	Events    int64                  `json:"events"`
+	Errors    int64                  `json:"errors"`
+	DurationS float64                `json:"duration_s"`
+	RPS       float64                `json:"rps"`
+	Targets   int                    `json:"targets,omitempty"`
+	Classes   map[string]*ClassStats `json:"classes"`
+	Kinds     map[string]int64       `json:"kinds"`
+}
+
+// specTarget is one compiled program as seen through a target: the
+// layout ID, the query geometry the offsets events use, and prebuilt
+// request bodies reused across events (the client marshals them at call
+// time and retains nothing, so mutating Start[0] per event is safe).
+// Keeping the per-event path allocation-free is what holds the spec
+// generator's client-side overhead within noise of the hammer loadgen
+// (see BENCH_service.json's workload_spec entry).
+type specProgram struct {
+	layoutID string
+	array    string
+	dims     []int64
+	count    int64
+	offReq   *api.OffsetsRequest
+	compReq  *api.CompileRequest
+	simReq   *api.SimulateRequest
+}
+
+// RunSpecLoad issues opt.Events in order and reports per-class counts
+// and latency quantiles. Setup compiles (learning each program's layout
+// ID and array geometry) are marked api.HeaderNoRecord so a -record
+// trace on the server holds exactly the issued events. It returns an
+// error when no target can be reached or a program cannot be compiled;
+// per-event failures during the run are counted, not fatal.
+func RunSpecLoad(ctx context.Context, opt SpecLoadOptions) (*SpecLoadResult, error) {
+	if len(opt.Events) == 0 {
+		return nil, fmt.Errorf("loadgen: no events to issue")
+	}
+	hc := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        8,
+			MaxIdleConnsPerHost: 8,
+		},
+	}
+	var targets []*client.Client
+	for _, u := range strings.Split(opt.BaseURL, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		targets = append(targets, client.New(u, client.WithHTTPClient(hc)))
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no target URLs in %q", opt.BaseURL)
+	}
+
+	// Setup pass: compile every program the stream names once per run
+	// (no-record), and warm every target so peer fills happen before the
+	// measured window. The offsets geometry mirrors the hammer loadgen:
+	// the largest array, walked along its innermost dimension.
+	setupCtx := client.ContextWithHeader(ctx, api.HeaderNoRecord, "1")
+	programs := map[string]*specProgram{}
+	for _, name := range workload.Programs(opt.Events) {
+		comp, err := targets[0].Compile(setupCtx, &api.CompileRequest{Workload: name})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: setup compile %s: %w", name, err)
+		}
+		sp := &specProgram{layoutID: comp.LayoutID}
+		for arr, info := range comp.Arrays {
+			if sp.array == "" || info.FileElems > comp.Arrays[sp.array].FileElems {
+				sp.array, sp.dims = arr, info.Dims
+			}
+		}
+		if sp.array == "" {
+			return nil, fmt.Errorf("loadgen: program %s has no arrays", name)
+		}
+		sp.count = 512
+		if last := sp.dims[len(sp.dims)-1]; sp.count > last {
+			sp.count = last
+		}
+		dir := make([]int64, len(sp.dims))
+		dir[len(sp.dims)-1] = 1
+		sp.offReq = &api.OffsetsRequest{
+			Array:   sp.array,
+			Queries: []api.OffsetQuery{{Start: make([]int64, len(sp.dims)), Dir: dir, Count: sp.count}},
+		}
+		sp.compReq = &api.CompileRequest{Workload: name}
+		sp.simReq = &api.SimulateRequest{LayoutID: comp.LayoutID}
+		for i, tgt := range targets[1:] {
+			if _, err := tgt.Compile(setupCtx, &api.CompileRequest{Workload: name}); err != nil {
+				return nil, fmt.Errorf("loadgen: warmup target %d (%s): %w", i+1, tgt.BaseURL(), err)
+			}
+		}
+		programs[name] = sp
+	}
+
+	res := &SpecLoadResult{
+		Targets: len(targets),
+		Classes: map[string]*ClassStats{},
+		Kinds:   map[string]int64{},
+	}
+	hists := map[string]*obs.Histogram{}
+	// The distinct (SLO, client) pairs are few; caching their header
+	// contexts keeps the per-event path allocation-free.
+	ctxCache := map[[2]string]context.Context{}
+	start := time.Now()
+	for _, ev := range opt.Events {
+		if ctx.Err() != nil {
+			break
+		}
+		if opt.Pace > 0 {
+			due := start.Add(time.Duration(float64(ev.TimeUS)/opt.Pace) * time.Microsecond)
+			if d := time.Until(due); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+				}
+				if ctx.Err() != nil {
+					break
+				}
+			}
+		}
+		cs := res.Classes[ev.SLO]
+		if cs == nil {
+			cs = &ClassStats{}
+			res.Classes[ev.SLO] = cs
+			hists[ev.SLO] = obs.NewHistogram(latencyBucketsUS()...)
+		}
+		res.Events++
+		res.Kinds[ev.Kind]++
+		cs.Requests++
+		tgt := targets[int(ev.Seq)%len(targets)]
+		ckey := [2]string{ev.SLO, ev.Client}
+		ectx, ok := ctxCache[ckey]
+		if !ok {
+			ectx = client.ContextWithHeader(ctx, api.HeaderSLOClass, ev.SLO)
+			if ev.Client != "" {
+				ectx = client.ContextWithHeader(ectx, api.HeaderClient, ev.Client)
+			}
+			ctxCache[ckey] = ectx
+		}
+		sp := programs[ev.Program]
+		t0 := time.Now()
+		var err error
+		switch ev.Kind {
+		case workload.KindCompile:
+			_, err = tgt.Compile(ectx, sp.compReq)
+		case workload.KindOffsets:
+			// A deterministic walk derived from the event's sequence
+			// number: replays issue byte-identical query bodies.
+			sp.offReq.Queries[0].Start[0] = ev.Seq % sp.dims[0]
+			_, err = tgt.Offsets(ectx, sp.layoutID, sp.offReq)
+		case workload.KindSimulate:
+			// Fire and forget: the 202 acceptance is the event; jobs are
+			// not polled (exp.WorkloadSweep is the offline analogue that
+			// actually runs them).
+			_, err = tgt.Simulate(ectx, sp.simReq)
+		default:
+			err = fmt.Errorf("unknown event kind %q", ev.Kind)
+		}
+		if err != nil {
+			res.Errors++
+			cs.Errors++
+			continue
+		}
+		hists[ev.SLO].Observe(time.Since(t0).Microseconds())
+	}
+	res.DurationS = time.Since(start).Seconds()
+	if res.DurationS > 0 {
+		res.RPS = float64(res.Events-res.Errors) / res.DurationS
+	}
+	for class, h := range hists {
+		res.Classes[class].P50US = h.Quantile(0.5)
+		res.Classes[class].P99US = h.Quantile(0.99)
+	}
+	return res, nil
+}
+
+// ClassNames returns the result's SLO classes, sorted (stable output
+// for logs and the smoke script).
+func (r *SpecLoadResult) ClassNames() []string {
+	names := make([]string, 0, len(r.Classes))
+	for c := range r.Classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	return names
+}

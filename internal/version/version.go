@@ -9,7 +9,7 @@ import (
 )
 
 // Version is the release identifier of this source tree.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // String returns the full banner a CLI prints for -version:
 // name, release, and the Go toolchain/platform it was built with.

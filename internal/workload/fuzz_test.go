@@ -1,0 +1,31 @@
+package workload
+
+import "testing"
+
+// FuzzParseSpec: the spec parser and validator must never panic on
+// arbitrary input — they either return a spec or an error. The seed
+// corpus covers the grammar's shapes; `go test -fuzz=FuzzParseSpec
+// ./internal/workload` explores from there.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"version":1,"duration_s":1,"rate_rps":10,"clients":[{"id":"a","rate_fraction":1,"arrival":{"process":"poisson"},"mix":[{"program":"swim","kind":"offsets","weight":1}]}]}`))
+	f.Add([]byte(`{"version":1,"duration_s":2,"rate_rps":5,"clients":[{"id":"b","rate_fraction":1,"slo_class":"gold","arrival":{"process":"onoff","on_s":0.5,"off_s":0.5},"mix":[{"program":"bt","kind":"compile","weight":2}]}]}`))
+	f.Add([]byte(`{"version":1,"duration_s":3,"rate_rps":5,"clients":[{"id":"c","rate_fraction":1,"arrival":{"process":"diurnal","periods":[{"dur_s":1,"rate_mult":2},{"dur_s":1,"rate_mult":0}]},"phases":[{"start_s":0,"mix":[{"program":"sp","kind":"simulate","weight":1}]}]}]}`))
+	f.Add([]byte(`{"version":-1,"duration_s":-1e308,"rate_rps":1e308,"clients":[{"id":"","rate_fraction":0}]}`))
+	f.Add([]byte(`{"version":1,"duration_s":1,"rate_rps":1,"max_events":-9223372036854775808,"clients":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		// Validate must classify without panicking; if it accepts, the
+		// spec must expand without panicking too.
+		if err := s.Validate(); err != nil {
+			return
+		}
+		if _, err := s.Generate(); err != nil {
+			t.Fatalf("validated spec failed to generate: %v", err)
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// validSpec returns a spec that passes Validate; tests mutate one field
+// at a time to pin each rejection.
+func validSpec() *Spec {
+	return &Spec{
+		Version:   SpecVersion,
+		Name:      "test",
+		Seed:      7,
+		DurationS: 2,
+		RateRPS:   100,
+		Clients: []Client{
+			{
+				ID:           "batch",
+				RateFraction: 0.75,
+				SLOClass:     "batch",
+				Arrival:      Arrival{Process: ProcessPoisson},
+				Mix: []MixEntry{
+					{Program: "swim", Kind: KindOffsets, Weight: 3},
+					{Program: "mgrid", Kind: KindSimulate, Weight: 1},
+				},
+			},
+			{
+				ID:           "interactive",
+				RateFraction: 0.25,
+				Arrival:      Arrival{Process: ProcessOnOff, OnS: 0.5, OffS: 0.5},
+				Mix:          []MixEntry{{Program: "bt", Kind: KindCompile, Weight: 1}},
+			},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestValidateRejects is the rejection table: every malformed variant
+// must fail with a message naming the problem.
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantSub string
+	}{
+		{"wrong version", func(s *Spec) { s.Version = 2 }, "version 2 unsupported"},
+		{"zero version", func(s *Spec) { s.Version = 0 }, "version 0 unsupported"},
+		{"zero duration", func(s *Spec) { s.DurationS = 0 }, "duration_s"},
+		{"negative duration", func(s *Spec) { s.DurationS = -1 }, "duration_s"},
+		{"zero rate", func(s *Spec) { s.RateRPS = 0 }, "rate_rps"},
+		{"negative max events", func(s *Spec) { s.MaxEvents = -1 }, "max_events"},
+		{"volume over cap", func(s *Spec) { s.RateRPS = 1000; s.MaxEvents = 100 }, "exceeds max_events"},
+		{"no clients", func(s *Spec) { s.Clients = nil }, "at least one client"},
+		{"empty client id", func(s *Spec) { s.Clients[0].ID = "" }, "id"},
+		{"bad client id charset", func(s *Spec) { s.Clients[0].ID = "Bad Client!" }, "a-z0-9_-"},
+		{"overlong client id", func(s *Spec) { s.Clients[0].ID = strings.Repeat("x", 33) }, "a-z0-9_-"},
+		{"duplicate client id", func(s *Spec) { s.Clients[1].ID = "batch" }, "duplicate client"},
+		{"zero fraction", func(s *Spec) { s.Clients[0].RateFraction = 0 }, "rate_fraction"},
+		{"fractions do not sum", func(s *Spec) { s.Clients[0].RateFraction = 0.5 }, "sum to"},
+		{"bad slo charset", func(s *Spec) { s.Clients[0].SLOClass = "Gold Tier" }, "slo_class"},
+		{"missing arrival", func(s *Spec) { s.Clients[0].Arrival = Arrival{} }, "arrival process not set"},
+		{"unknown arrival", func(s *Spec) { s.Clients[0].Arrival.Process = "weibull" }, "unknown arrival process"},
+		{"poisson with on_s", func(s *Spec) { s.Clients[0].Arrival.OnS = 1 }, "poisson arrival takes no"},
+		{"onoff without off_s", func(s *Spec) { s.Clients[1].Arrival.OffS = 0 }, "onoff arrival needs"},
+		{"onoff with periods", func(s *Spec) {
+			s.Clients[1].Arrival.Periods = []Period{{DurS: 1, RateMult: 1}}
+		}, "onoff arrival takes no periods"},
+		{"diurnal without periods", func(s *Spec) {
+			s.Clients[0].Arrival = Arrival{Process: ProcessDiurnal}
+		}, "needs at least one period"},
+		{"diurnal zero-length period", func(s *Spec) {
+			s.Clients[0].Arrival = Arrival{Process: ProcessDiurnal, Periods: []Period{{DurS: 0, RateMult: 1}}}
+		}, "dur_s"},
+		{"diurnal negative mult", func(s *Spec) {
+			s.Clients[0].Arrival = Arrival{Process: ProcessDiurnal, Periods: []Period{{DurS: 1, RateMult: -1}}}
+		}, "rate_mult"},
+		{"diurnal all-zero mults", func(s *Spec) {
+			s.Clients[0].Arrival = Arrival{Process: ProcessDiurnal, Periods: []Period{{DurS: 1, RateMult: 0}}}
+		}, "rate_mult > 0"},
+		{"no mix", func(s *Spec) { s.Clients[0].Mix = nil }, "exactly one of mix and phases"},
+		{"both mix and phases", func(s *Spec) {
+			s.Clients[0].Phases = []Phase{{StartS: 0, Mix: s.Clients[0].Mix}}
+		}, "exactly one of mix and phases"},
+		{"empty mix", func(s *Spec) { s.Clients[0].Mix = []MixEntry{} }, "exactly one of mix and phases"},
+		{"unknown program", func(s *Spec) { s.Clients[0].Mix[0].Program = "nosuch" }, "unknown program"},
+		{"unknown kind", func(s *Spec) { s.Clients[0].Mix[0].Kind = "delete" }, "unknown kind"},
+		{"zero weight", func(s *Spec) { s.Clients[0].Mix[0].Weight = 0 }, "weight"},
+		{"first phase not at zero", func(s *Spec) {
+			mix := s.Clients[0].Mix
+			s.Clients[0].Mix = nil
+			s.Clients[0].Phases = []Phase{{StartS: 1, Mix: mix}}
+		}, "first phase must start at 0"},
+		{"phases out of order", func(s *Spec) {
+			mix := s.Clients[0].Mix
+			s.Clients[0].Mix = nil
+			s.Clients[0].Phases = []Phase{{StartS: 0, Mix: mix}, {StartS: 0, Mix: mix}}
+		}, "not after previous"},
+		{"phase with empty mix", func(s *Spec) {
+			mix := s.Clients[0].Mix
+			s.Clients[0].Mix = nil
+			s.Clients[0].Phases = []Phase{{StartS: 0, Mix: mix}, {StartS: 1, Mix: nil}}
+		}, "mix must not be empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted a spec with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseSpecStrict(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"version":1,"duration_s":1,"rate_rps":1,"clients":[],"typo_field":3}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseSpec([]byte(`{"version":1} {"version":1}`)); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	s, err := ParseSpec([]byte(`{"version":1,"duration_s":1,"rate_rps":1,"clients":[]}`))
+	if err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+	if s.Version != 1 || s.DurationS != 1 {
+		t.Fatalf("parsed fields wrong: %+v", s)
+	}
+}
+
+func TestSingleClientSpec(t *testing.T) {
+	s := SingleClientSpec("swim")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("preset spec invalid: %v", err)
+	}
+	if err := SingleClientSpec("nosuch").Validate(); err == nil {
+		t.Fatal("preset spec with unknown program validated")
+	}
+	evs, err := s.Generate()
+	if err != nil {
+		t.Fatalf("preset generate: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("preset spec expanded to zero events")
+	}
+	for _, e := range evs {
+		if e.Program != "swim" || e.Kind != KindOffsets || e.SLO != "default" {
+			t.Fatalf("preset event wrong: %+v", e)
+		}
+	}
+}
+
+// TestExampleSpecs keeps the shipped example specs loadable: each must
+// parse, validate, and expand to a non-trivial stream.
+func TestExampleSpecs(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("found %d example specs, want ≥ 3", len(paths))
+	}
+	for _, path := range paths {
+		spec, err := LoadSpecFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		evs, err := spec.Generate()
+		if err != nil {
+			t.Errorf("%s: generate: %v", path, err)
+			continue
+		}
+		if len(evs) < 10 {
+			t.Errorf("%s expanded to only %d events", path, len(evs))
+		}
+	}
+}

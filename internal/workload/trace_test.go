@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, recs int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	w, err := NewTraceWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{KindCompile, KindOffsets, KindSimulate}
+	for i := 0; i < recs; i++ {
+		if err := w.Append(kinds[i%3], "c1", "gold", "swim"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := writeTrace(t, 9)
+	recs, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("got %d records, want 9", len(recs))
+	}
+	for i, r := range recs {
+		if r.V != TraceVersion {
+			t.Fatalf("record %d: version %d", i, r.V)
+		}
+		if r.Seq != int64(i) {
+			t.Fatalf("record %d: seq %d", i, r.Seq)
+		}
+		if i > 0 && r.TimeUS < recs[i-1].TimeUS {
+			t.Fatalf("record %d: time went backwards", i)
+		}
+		if r.Client != "c1" || r.SLO != "gold" || r.Program != "swim" {
+			t.Fatalf("record %d: fields wrong: %+v", i, r)
+		}
+	}
+	evs := Events(recs)
+	if len(evs) != 9 {
+		t.Fatalf("Events: got %d, want 9", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != int64(i) {
+			t.Fatalf("event %d: seq %d", i, e.Seq)
+		}
+		if e.Kind != recs[i].Kind || e.Program != recs[i].Program || e.SLO != "gold" {
+			t.Fatalf("event %d: fields wrong: %+v", i, e)
+		}
+	}
+}
+
+// TestTraceTornTail: a truncated final line is skipped, not an error —
+// the crash-tolerance contract shared with the service journals.
+func TestTraceTornTail(t *testing.T) {
+	path := writeTrace(t, 5)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-line.
+	torn := data[:len(data)-10]
+	tornPath := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTraceFile(tornPath)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d records after tear, want 4", len(recs))
+	}
+}
+
+// TestTraceMidFileCorruption: a bad line with more records after it is
+// corruption, not a torn tail.
+func TestTraceMidFileCorruption(t *testing.T) {
+	path := writeTrace(t, 3)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = "{garbage\n"
+	badPath := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(badPath, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceFile(badPath); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestTraceVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v9.jsonl")
+	line := `{"v":9,"seq":0,"t_us":0,"kind":"offsets","slo":"default","program":"swim"}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadTraceFile(path)
+	if err == nil || !strings.Contains(err.Error(), "version 9 unsupported") {
+		t.Fatalf("want version rejection, got %v", err)
+	}
+}
+
+func TestTraceMissingFieldsRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	line := `{"v":1,"seq":0,"t_us":0,"kind":"offsets","slo":"default","program":""}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTraceFile(path); err == nil {
+		t.Fatal("record without program accepted")
+	}
+}
+
+func TestTraceEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("empty file decoded %d records", len(recs))
+	}
+}
+
+func TestTraceDefaultsSLO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "noslo.jsonl")
+	w, err := NewTraceWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(KindOffsets, "c1", "", "swim"); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].SLO != "default" {
+		t.Fatalf("empty SLO not defaulted: %+v", recs)
+	}
+}

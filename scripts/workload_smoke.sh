@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# workload_smoke.sh — end-to-end smoke test of the workload subsystem:
+# boot floptd with -record, drive a two-class spec through the loadgen,
+# SIGTERM-drain, then replay the recorded trace against a second
+# recording daemon and assert the second trace reproduces the first
+# request-for-request (modulo wall-clock timestamps) with identical
+# per-SLO-class counts. Also checks the per-class Prometheus family, the
+# -program preset mode, and that exptab's offline workload sweep renders
+# the identical table from the spec and from the recorded trace.
+# Exits non-zero on any failure.
+#
+# Usage: scripts/workload_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pid=""
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/floptd" ./cmd/floptd
+go build -o "$workdir/exptab" ./cmd/exptab
+
+fail() { echo "workload_smoke: $1" >&2; [ -f "$workdir/err.log" ] && tail -5 "$workdir/err.log" >&2; exit 1; }
+
+# A small two-class spec: bursty gold traffic over cc-ver-1, steady batch
+# traffic over s3asim with a sprinkle of simulate jobs (small programs so
+# the drain stays quick).
+cat >"$workdir/spec.json" <<'EOF'
+{
+  "version": 1,
+  "name": "smoke",
+  "seed": 5,
+  "duration_s": 2,
+  "rate_rps": 40,
+  "clients": [
+    {
+      "id": "gold-client",
+      "rate_fraction": 0.5,
+      "slo_class": "gold",
+      "arrival": {"process": "onoff", "on_s": 0.4, "off_s": 0.3},
+      "mix": [
+        {"program": "cc-ver-1", "kind": "offsets", "weight": 5},
+        {"program": "cc-ver-1", "kind": "compile", "weight": 1}
+      ]
+    },
+    {
+      "id": "batch-client",
+      "rate_fraction": 0.5,
+      "slo_class": "batch",
+      "arrival": {"process": "poisson"},
+      "mix": [
+        {"program": "s3asim", "kind": "offsets", "weight": 6},
+        {"program": "s3asim", "kind": "simulate", "weight": 1}
+      ]
+    }
+  ]
+}
+EOF
+
+addr=127.0.0.1:18491
+base="http://$addr"
+
+boot() { # boot <record-path>
+	"$workdir/floptd" -addr "$addr" -workers 2 -record "$1" \
+		>"$workdir/out.log" 2>"$workdir/err.log" &
+	pid=$!
+	for i in $(seq 1 50); do
+		if curl -sf "$base/healthz" >/dev/null 2>&1; then return 0; fi
+		kill -0 "$pid" 2>/dev/null || fail "daemon died during startup"
+		sleep 0.1
+	done
+	fail "daemon at $base never came up"
+}
+
+drain() {
+	kill -TERM "$pid"
+	wait "$pid" || fail "daemon exited non-zero after SIGTERM"
+	grep -q 'drained, exiting' "$workdir/out.log" || fail "daemon did not report a completed drain"
+	pid=""
+}
+
+# requests_per_class extracts the per-class request counts from a loadgen
+# result JSON (encoding/json sorts map keys, so the order is stable).
+requests_per_class() { sed -n 's/^ *"requests": \([0-9]*\),*$/\1/p' "$1"; }
+
+# strip_clock drops the wall-clock timestamp from trace records so two
+# recordings of the same request sequence compare equal.
+strip_clock() { sed 's/"t_us":[0-9]*/"t_us":0/' "$1"; }
+
+# Run 1: drive the spec against a recording daemon.
+boot "$workdir/run1.jsonl"
+"$workdir/floptd" -loadgen -spec "$workdir/spec.json" -target "$base" \
+	>"$workdir/out1.json" || fail "spec loadgen failed"
+grep -q '"errors": 0,' "$workdir/out1.json" || fail "spec run reported errors: $(cat "$workdir/out1.json")"
+events=$(sed -n 's/^ *"events": \([0-9]*\),*$/\1/p' "$workdir/out1.json")
+[ "${events:-0}" -ge 10 ] || fail "spec run issued only ${events:-0} events"
+
+# The per-SLO-class latency family is exposed while the daemon serves.
+metrics=$(curl -sf "$base/metrics")
+printf '%s' "$metrics" | grep -q 'floptd_slo_latency_us_count{slo_class="gold"}' || fail "metrics missing gold SLO family"
+printf '%s' "$metrics" | grep -q 'floptd_slo_latency_us_count{slo_class="batch"}' || fail "metrics missing batch SLO family"
+drain
+
+# The trace holds exactly the issued events (setup compiles are no-record).
+lines=$(wc -l <"$workdir/run1.jsonl")
+[ "$lines" = "$events" ] || fail "trace has $lines records, loadgen issued $events events"
+
+# Run 2: replay the recorded trace against a fresh recording daemon.
+boot "$workdir/run2.jsonl"
+"$workdir/floptd" -loadgen -replay "$workdir/run1.jsonl" -target "$base" \
+	>"$workdir/out2.json" || fail "replay loadgen failed"
+grep -q '"errors": 0,' "$workdir/out2.json" || fail "replay reported errors: $(cat "$workdir/out2.json")"
+
+# The second trace reproduces the first request-for-request.
+if ! diff <(strip_clock "$workdir/run1.jsonl") <(strip_clock "$workdir/run2.jsonl") >/dev/null; then
+	fail "replayed trace diverges from the recorded one"
+fi
+# Per-SLO-class counts agree between the spec run and the replay.
+if ! diff <(requests_per_class "$workdir/out1.json") <(requests_per_class "$workdir/out2.json") >/dev/null; then
+	fail "per-class request counts differ between spec run and replay"
+fi
+
+# The -program preset drives a one-client spec over any named program.
+"$workdir/floptd" -loadgen -program mgrid -target "$base" \
+	>"$workdir/preset.json" || fail "-program preset failed"
+grep -q '"errors": 0,' "$workdir/preset.json" || fail "preset run reported errors"
+drain
+
+# Offline: exptab renders the identical workload sweep from the spec and
+# from the recorded trace.
+"$workdir/exptab" -exp workload -spec "$workdir/spec.json" >"$workdir/sweep_spec.txt" \
+	|| fail "exptab -spec failed"
+"$workdir/exptab" -exp workload -replay "$workdir/run1.jsonl" >"$workdir/sweep_trace.txt" \
+	|| fail "exptab -replay failed"
+diff "$workdir/sweep_spec.txt" "$workdir/sweep_trace.txt" >/dev/null \
+	|| fail "exptab sweep differs between spec and recorded trace"
+grep -q 'Workload sweep' "$workdir/sweep_spec.txt" || fail "sweep table missing title"
+grep -q '^gold' "$workdir/sweep_spec.txt" || fail "sweep table missing gold row"
+grep -q '^batch' "$workdir/sweep_spec.txt" || fail "sweep table missing batch row"
+
+echo "workload_smoke: OK (spec/record/replay/per-class metrics/preset/exptab sweep)"
